@@ -1,0 +1,259 @@
+//! Single-report Bayesian inference attack (§3.2.2(a)) and the
+//! AdvError privacy metric (§5.1).
+
+// Dense numeric kernels below index several parallel arrays in one
+// loop; iterator rewrites would obscure the linear-algebra intent.
+#![allow(clippy::needless_range_loop)]
+
+use vlp_core::{IntervalDistances, Mechanism, Prior};
+
+/// The adversary's posterior over true intervals given reported
+/// interval `j` (Eq. 4): `f(i | j) ∝ z_{i,j} · f_P(i)`.
+///
+/// Returns a length-`K` distribution. If the report `j` has zero
+/// marginal probability under `(mechanism, prior)` the posterior falls
+/// back to the prior (the report can never be observed, so any
+/// convention works; the prior keeps downstream averages finite).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `j ≥ K`.
+pub fn posterior(mechanism: &Mechanism, prior: &Prior, j: usize) -> Vec<f64> {
+    let k = mechanism.len();
+    assert_eq!(prior.len(), k, "prior dimension mismatch");
+    assert!(j < k, "reported interval out of range");
+    let mut post: Vec<f64> = (0..k)
+        .map(|i| mechanism.prob(i, j) * prior.get(i))
+        .collect();
+    let total: f64 = post.iter().sum();
+    if total <= 0.0 {
+        return prior.as_slice().to_vec();
+    }
+    for p in &mut post {
+        *p /= total;
+    }
+    post
+}
+
+/// The optimal inference attack: for every possible report `j`, the
+/// interval `p̂(j)` minimizing the adversary's posterior expected
+/// distance `Σ_i f(i|j) · d_min(i, p̂)`.
+///
+/// This is the "best guess of the adversary given the reported
+/// location" used to define AdvError; remapping the posterior through
+/// a distance-minimizing point estimate is exactly the optimal attack
+/// of Shokri et al. adopted by the paper.
+pub fn optimal_estimates(
+    mechanism: &Mechanism,
+    prior: &Prior,
+    dists: &IntervalDistances,
+) -> Vec<usize> {
+    let k = mechanism.len();
+    assert_eq!(dists.len(), k, "distance matrix dimension mismatch");
+    (0..k)
+        .map(|j| {
+            let post = posterior(mechanism, prior, j);
+            let mut best = (0usize, f64::INFINITY);
+            for cand in 0..k {
+                let exp_err: f64 = post
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        if p > 0.0 {
+                            p * dists.get_min(i, cand)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                if exp_err < best.1 {
+                    best = (cand, exp_err);
+                }
+            }
+            best.0
+        })
+        .collect()
+}
+
+/// AdvError: the expected road distance between the adversary's optimal
+/// guess and the vehicle's true interval,
+///
+/// `AdvError = Σ_i Σ_j f_P(i) · z_{i,j} · d_min(i, p̂(j))`.
+///
+/// Higher values mean more privacy (§5.1). Computed in closed form —
+/// no sampling.
+pub fn adv_error(mechanism: &Mechanism, prior: &Prior, dists: &IntervalDistances) -> f64 {
+    let k = mechanism.len();
+    let estimates = optimal_estimates(mechanism, prior, dists);
+    let mut err = 0.0;
+    for i in 0..k {
+        let fp = prior.get(i);
+        if fp <= 0.0 {
+            continue;
+        }
+        for j in 0..k {
+            let z = mechanism.prob(i, j);
+            if z > 0.0 {
+                err += fp * z * dists.get_min(i, estimates[j]);
+            }
+        }
+    }
+    err
+}
+
+/// Conditional entropy `H(P | P̃)` of the true interval given the
+/// report, in nats — an information-theoretic privacy companion to
+/// AdvError (0 = the report reveals everything; `ln K` = reveals
+/// nothing beyond a uniform prior).
+///
+/// `H(P | P̃) = −Σ_j Pr(j) Σ_i f(i|j) ln f(i|j)`.
+pub fn conditional_entropy(mechanism: &Mechanism, prior: &Prior) -> f64 {
+    let k = mechanism.len();
+    assert_eq!(prior.len(), k, "prior dimension mismatch");
+    let mut h = 0.0;
+    for j in 0..k {
+        let pr_j: f64 = (0..k).map(|i| prior.get(i) * mechanism.prob(i, j)).sum();
+        if pr_j <= 0.0 {
+            continue;
+        }
+        let post = posterior(mechanism, prior, j);
+        let h_j: f64 = post
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum();
+        h += pr_j * h_j;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{generators, NodeDistances};
+    use vlp_core::Discretization;
+
+    fn setup() -> (IntervalDistances, usize) {
+        let g = generators::grid(2, 2, 0.5, true);
+        let nd = NodeDistances::all_pairs(&g);
+        let disc = Discretization::new(&g, 0.25);
+        let k = disc.len();
+        (IntervalDistances::build(&g, &nd, &disc), k)
+    }
+
+    #[test]
+    fn posterior_normalizes() {
+        let (_, k) = setup();
+        let m = Mechanism::uniform(k);
+        let p = Prior::uniform(k);
+        for j in 0..k {
+            let post = posterior(&m, &p, j);
+            let s: f64 = post.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_mechanism_posterior_is_prior() {
+        let (_, k) = setup();
+        let m = Mechanism::uniform(k);
+        let mut w = vec![1.0; k];
+        w[0] = 5.0;
+        let p = Prior::from_weights(&w).unwrap();
+        let post = posterior(&m, &p, 2);
+        for i in 0..k {
+            assert!((post[i] - p.get(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_mechanism_is_fully_inferable() {
+        let (dists, k) = setup();
+        let m = Mechanism::identity(k);
+        let p = Prior::uniform(k);
+        // Perfect posterior: the report is the truth.
+        let est = optimal_estimates(&m, &p, &dists);
+        for (j, &e) in est.iter().enumerate() {
+            assert_eq!(e, j);
+        }
+        assert!(adv_error(&m, &p, &dists) < 1e-12);
+    }
+
+    #[test]
+    fn uniform_mechanism_gives_positive_adv_error() {
+        let (dists, k) = setup();
+        let m = Mechanism::uniform(k);
+        let p = Prior::uniform(k);
+        assert!(adv_error(&m, &p, &dists) > 0.0);
+    }
+
+    #[test]
+    fn adv_error_orders_mechanisms_sensibly() {
+        // The uniform mechanism hides more than a near-identity one.
+        let (dists, k) = setup();
+        let p = Prior::uniform(k);
+        let mut near_identity = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                near_identity[i * k + j] = if i == j { 0.9 } else { 0.1 / (k - 1) as f64 };
+            }
+        }
+        let near = Mechanism::from_matrix(k, near_identity, 1e-9).unwrap();
+        let uni = Mechanism::uniform(k);
+        assert!(adv_error(&uni, &p, &dists) > adv_error(&near, &p, &dists));
+    }
+
+    #[test]
+    fn zero_probability_report_falls_back_to_prior() {
+        let k = 2;
+        // Both rows always report interval 0; interval 1 is never seen.
+        let m = Mechanism::from_matrix(k, vec![1.0, 0.0, 1.0, 0.0], 1e-9).unwrap();
+        let p = Prior::uniform(k);
+        let post = posterior(&m, &p, 1);
+        assert_eq!(post, p.as_slice().to_vec());
+    }
+
+    #[test]
+    fn entropy_anchors_at_identity_and_uniform() {
+        let (_, k) = setup();
+        let p = Prior::uniform(k);
+        // Identity: the report determines the truth — zero entropy.
+        assert!(conditional_entropy(&Mechanism::identity(k), &p) < 1e-12);
+        // Uniform: the report says nothing — prior entropy ln K.
+        let h = conditional_entropy(&Mechanism::uniform(k), &p);
+        assert!((h - (k as f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_orders_with_adv_error() {
+        let (dists, k) = setup();
+        let p = Prior::uniform(k);
+        let mut near_identity = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                near_identity[i * k + j] = if i == j { 0.9 } else { 0.1 / (k - 1) as f64 };
+            }
+        }
+        let near = Mechanism::from_matrix(k, near_identity, 1e-9).unwrap();
+        let uni = Mechanism::uniform(k);
+        // Both privacy metrics rank uniform above near-identity.
+        assert!(conditional_entropy(&uni, &p) > conditional_entropy(&near, &p));
+        assert!(adv_error(&uni, &p, &dists) > adv_error(&near, &p, &dists));
+    }
+
+    #[test]
+    fn concentrated_prior_dominates_inference() {
+        let (dists, k) = setup();
+        // Prior almost certain the vehicle is in interval 3.
+        let mut w = vec![1e-6; k];
+        w[3] = 1.0;
+        let p = Prior::from_weights(&w).unwrap();
+        let m = Mechanism::uniform(k);
+        let est = optimal_estimates(&m, &p, &dists);
+        // Whatever is reported, the best guess is (near) interval 3.
+        for &e in &est {
+            assert!(dists.get_min(e, 3) < 0.3, "guess {e} far from prior mode");
+        }
+        assert!(adv_error(&m, &p, &dists) < 0.05);
+    }
+}

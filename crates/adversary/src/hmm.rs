@@ -1,0 +1,459 @@
+//! Spatial-correlation-aware attack: HMM + Viterbi (§3.2.2(b)).
+//!
+//! The vehicle's true interval sequence is a hidden Markov chain; the
+//! obfuscated reports are its observations with emission probabilities
+//! `Pr(report j | true i) = z_{i,j}`. The adversary learns the
+//! transition matrix from floating-vehicle data (Eq. 5) and decodes the
+//! maximum-likelihood trajectory with the Viterbi algorithm.
+
+// Dense numeric kernels below index several parallel arrays in one
+// loop; iterator rewrites would obscure the linear-algebra intent.
+#![allow(clippy::needless_range_loop)]
+
+use vlp_core::{Mechanism, Prior};
+
+/// A row-stochastic interval-to-interval transition matrix
+/// `H = {h_{i,j}}`, learned from observed trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    k: usize,
+    h: Vec<f64>,
+}
+
+impl TransitionMatrix {
+    /// Learns transition probabilities from interval-index trajectories
+    /// by the empirical-frequency estimator of Eq. 5,
+    ///
+    /// `h_{i,j} = #(moves i→j) / #(visits to i)`,
+    ///
+    /// with additive smoothing `alpha` so that unseen transitions keep
+    /// a small positive probability (the decoder needs full support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `alpha < 0`, or a trajectory mentions an
+    /// interval `≥ k`.
+    pub fn learn(k: usize, traces: &[Vec<usize>], alpha: f64) -> Self {
+        assert!(k > 0, "need at least one interval");
+        assert!(alpha >= 0.0, "smoothing must be non-negative");
+        let mut counts = vec![alpha; k * k];
+        for trace in traces {
+            for w in trace.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                assert!(a < k && b < k, "trace interval out of range");
+                counts[a * k + b] += 1.0;
+            }
+        }
+        let mut h = counts;
+        for i in 0..k {
+            let row = &mut h[i * k..(i + 1) * k];
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= total;
+                }
+            } else {
+                // Never visited and no smoothing: stay put.
+                row[i] = 1.0;
+            }
+        }
+        Self { k, h }
+    }
+
+    /// Builds a matrix directly from a row-major table, normalizing
+    /// each row. Returns `None` for invalid input.
+    pub fn from_rows(k: usize, rows: Vec<f64>) -> Option<Self> {
+        if rows.len() != k * k || k == 0 {
+            return None;
+        }
+        if rows.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return None;
+        }
+        let mut h = rows;
+        for i in 0..k {
+            let row = &mut h[i * k..(i + 1) * k];
+            let total: f64 = row.iter().sum();
+            if total <= 0.0 {
+                return None;
+            }
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+        Some(Self { k, h })
+    }
+
+    /// Transition probability `Pr(next = j | current = i)`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.h[i * self.k + j]
+    }
+
+    /// Number of intervals `K`.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+}
+
+/// Viterbi decoding: the maximum-likelihood hidden interval sequence
+/// given a sequence of reported intervals.
+///
+/// Works in log space. States with zero prior, transition, or emission
+/// probability are assigned `-∞` and never selected unless every state
+/// is impossible at some step (in which case the decoder restarts the
+/// step from emissions only, which keeps the output well-defined under
+/// model mismatch).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `observations` mention an interval
+/// `≥ K`.
+pub fn viterbi(
+    trans: &TransitionMatrix,
+    prior: &Prior,
+    mechanism: &Mechanism,
+    observations: &[usize],
+) -> Vec<usize> {
+    let k = trans.len();
+    assert_eq!(prior.len(), k, "prior dimension mismatch");
+    assert_eq!(mechanism.len(), k, "mechanism dimension mismatch");
+    if observations.is_empty() {
+        return Vec::new();
+    }
+    let ln = |v: f64| if v > 0.0 { v.ln() } else { f64::NEG_INFINITY };
+    let t_len = observations.len();
+    let mut score = vec![f64::NEG_INFINITY; k];
+    let mut back: Vec<Vec<usize>> = vec![vec![0; k]; t_len];
+    let o0 = observations[0];
+    assert!(o0 < k, "observation out of range");
+    for i in 0..k {
+        score[i] = ln(prior.get(i)) + ln(mechanism.prob(i, o0));
+    }
+    rescue_if_dead(&mut score, mechanism, o0, k, &ln);
+    for (t, &obs) in observations.iter().enumerate().skip(1) {
+        assert!(obs < k, "observation out of range");
+        let mut next = vec![f64::NEG_INFINITY; k];
+        for j in 0..k {
+            let emit = ln(mechanism.prob(j, obs));
+            if emit == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for i in 0..k {
+                if score[i] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let cand = score[i] + ln(trans.prob(i, j));
+                if cand > best.1 {
+                    best = (i, cand);
+                }
+            }
+            if best.1 > f64::NEG_INFINITY {
+                next[j] = best.1 + emit;
+                back[t][j] = best.0;
+            }
+        }
+        score = next;
+        rescue_if_dead(&mut score, mechanism, obs, k, &ln);
+    }
+    // Backtrack from the best terminal state.
+    let mut best_state = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, &s) in score.iter().enumerate() {
+        if s > best_score {
+            best_score = s;
+            best_state = i;
+        }
+    }
+    let mut path = vec![0usize; t_len];
+    path[t_len - 1] = best_state;
+    for t in (1..t_len).rev() {
+        path[t - 1] = back[t][path[t]];
+    }
+    path
+}
+
+/// If every state became impossible (model mismatch — e.g. the observed
+/// report is unreachable under the learned transitions), restart the
+/// step from the emission likelihood alone.
+fn rescue_if_dead(
+    score: &mut [f64],
+    mechanism: &Mechanism,
+    obs: usize,
+    k: usize,
+    ln: &dyn Fn(f64) -> f64,
+) {
+    if score.iter().all(|&s| s == f64::NEG_INFINITY) {
+        for (i, slot) in score.iter_mut().enumerate().take(k) {
+            *slot = ln(mechanism.prob(i, obs));
+        }
+    }
+}
+
+/// Forward-backward smoothing: the posterior marginal distribution of
+/// the hidden interval at every step given the whole report sequence.
+///
+/// Complements [`viterbi`]: Viterbi finds the jointly most likely
+/// *trajectory*, the marginals minimize *per-step* error. Returns a
+/// `T × K` row-stochastic matrix (empty for an empty observation
+/// sequence). Scaled (normalized) forward/backward passes keep the
+/// computation stable for long sequences.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or an observation is out of range.
+pub fn forward_backward(
+    trans: &TransitionMatrix,
+    prior: &Prior,
+    mechanism: &Mechanism,
+    observations: &[usize],
+) -> Vec<Vec<f64>> {
+    let k = trans.len();
+    assert_eq!(prior.len(), k, "prior dimension mismatch");
+    assert_eq!(mechanism.len(), k, "mechanism dimension mismatch");
+    let t_len = observations.len();
+    if t_len == 0 {
+        return Vec::new();
+    }
+    let normalize = |v: &mut Vec<f64>| {
+        let s: f64 = v.iter().sum();
+        if s > 0.0 {
+            v.iter_mut().for_each(|x| *x /= s);
+        } else {
+            let u = 1.0 / k as f64;
+            v.iter_mut().for_each(|x| *x = u);
+        }
+    };
+    // Forward pass (scaled).
+    let mut alpha: Vec<Vec<f64>> = Vec::with_capacity(t_len);
+    let o0 = observations[0];
+    assert!(o0 < k, "observation out of range");
+    let mut a0: Vec<f64> = (0..k)
+        .map(|i| prior.get(i) * mechanism.prob(i, o0))
+        .collect();
+    normalize(&mut a0);
+    alpha.push(a0);
+    for &obs in &observations[1..] {
+        assert!(obs < k, "observation out of range");
+        let prev = alpha.last().expect("nonempty");
+        let mut a: Vec<f64> = (0..k)
+            .map(|j| {
+                let inflow: f64 = (0..k).map(|i| prev[i] * trans.prob(i, j)).sum();
+                inflow * mechanism.prob(j, obs)
+            })
+            .collect();
+        normalize(&mut a);
+        alpha.push(a);
+    }
+    // Backward pass (scaled).
+    let mut beta = vec![vec![1.0 / k as f64; k]; t_len];
+    for t in (0..t_len - 1).rev() {
+        let obs_next = observations[t + 1];
+        let next = beta[t + 1].clone();
+        let mut b: Vec<f64> = (0..k)
+            .map(|i| {
+                (0..k)
+                    .map(|j| trans.prob(i, j) * mechanism.prob(j, obs_next) * next[j])
+                    .sum()
+            })
+            .collect();
+        normalize(&mut b);
+        beta[t] = b;
+    }
+    // Combine.
+    (0..t_len)
+        .map(|t| {
+            let mut m: Vec<f64> = (0..k).map(|i| alpha[t][i] * beta[t][i]).collect();
+            normalize(&mut m);
+            m
+        })
+        .collect()
+}
+
+/// Per-step MAP decoding from forward-backward marginals: the state
+/// maximizing each step's posterior marginal.
+pub fn decode_marginals(marginals: &[Vec<f64>]) -> Vec<usize> {
+    marginals
+        .iter()
+        .map(|m| {
+            m.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Mean road distance between a decoded trajectory and the truth — the
+/// multi-report AdvError of Fig. 15.
+///
+/// # Panics
+///
+/// Panics if the two sequences have different lengths.
+pub fn trajectory_error(
+    truth: &[usize],
+    decoded: &[usize],
+    dists: &vlp_core::IntervalDistances,
+) -> f64 {
+    assert_eq!(truth.len(), decoded.len(), "sequence length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = truth
+        .iter()
+        .zip(decoded)
+        .map(|(&a, &b)| dists.get_min(a, b))
+        .sum();
+    total / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learn_counts_transitions() {
+        let traces = vec![vec![0, 1, 2], vec![0, 1, 1]];
+        let t = TransitionMatrix::learn(3, &traces, 0.0);
+        // From 0: always to 1.
+        assert!((t.prob(0, 1) - 1.0).abs() < 1e-12);
+        // From 1: once to 2, once to 1.
+        assert!((t.prob(1, 2) - 0.5).abs() < 1e-12);
+        assert!((t.prob(1, 1) - 0.5).abs() < 1e-12);
+        // Unvisited state 2 self-loops.
+        assert!((t.prob(2, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learn_smoothing_gives_full_support() {
+        let t = TransitionMatrix::learn(3, &[vec![0, 1]], 0.1);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(t.prob(i, j) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let t = TransitionMatrix::learn(4, &[vec![0, 1, 2, 3, 0]], 0.5);
+        for i in 0..4 {
+            let s: f64 = (0..4).map(|j| t.prob(i, j)).sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_input() {
+        assert!(TransitionMatrix::from_rows(2, vec![1.0; 3]).is_none());
+        assert!(TransitionMatrix::from_rows(2, vec![-1.0, 1.0, 0.5, 0.5]).is_none());
+        assert!(TransitionMatrix::from_rows(2, vec![0.0, 0.0, 0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn viterbi_with_identity_emissions_recovers_observations() {
+        let k = 3;
+        let t = TransitionMatrix::from_rows(k, vec![1.0; k * k]).unwrap();
+        let m = Mechanism::identity(k);
+        let p = Prior::uniform(k);
+        let obs = vec![0, 2, 1, 1];
+        assert_eq!(viterbi(&t, &p, &m, &obs), obs);
+    }
+
+    #[test]
+    fn viterbi_uses_transitions_to_denoise() {
+        // Two states; motion strongly prefers staying; the mechanism is
+        // noisy. A single outlier report should be smoothed away.
+        let k = 2;
+        let t = TransitionMatrix::from_rows(k, vec![0.95, 0.05, 0.05, 0.95]).unwrap();
+        let m = Mechanism::from_matrix(k, vec![0.7, 0.3, 0.3, 0.7], 1e-9).unwrap();
+        let p = Prior::from_weights(&[1.0, 0.0]).unwrap();
+        let obs = vec![0, 0, 1, 0, 0];
+        let decoded = viterbi(&t, &p, &m, &obs);
+        assert_eq!(decoded, vec![0, 0, 0, 0, 0], "outlier should be smoothed");
+    }
+
+    #[test]
+    fn viterbi_empty_observation_sequence() {
+        let k = 2;
+        let t = TransitionMatrix::from_rows(k, vec![0.5; 4]).unwrap();
+        let m = Mechanism::uniform(k);
+        let p = Prior::uniform(k);
+        assert!(viterbi(&t, &p, &m, &[]).is_empty());
+    }
+
+    #[test]
+    fn viterbi_survives_impossible_observations() {
+        // Transition matrix forbids leaving state 0, but the reports
+        // come from state 1's row; the rescue path must keep decoding.
+        let k = 2;
+        let t = TransitionMatrix::from_rows(k, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let m = Mechanism::from_matrix(k, vec![1.0, 0.0, 0.0, 1.0], 1e-9).unwrap();
+        let p = Prior::from_weights(&[1.0, 0.0]).unwrap();
+        let decoded = viterbi(&t, &p, &m, &[0, 1, 1]);
+        assert_eq!(decoded.len(), 3);
+    }
+
+    #[test]
+    fn forward_backward_marginals_are_distributions() {
+        let k = 3;
+        let t = TransitionMatrix::from_rows(k, vec![1.0; k * k]).unwrap();
+        let m = Mechanism::from_matrix(k, vec![0.6, 0.2, 0.2, 0.2, 0.6, 0.2, 0.2, 0.2, 0.6], 1e-9)
+            .unwrap();
+        let p = Prior::uniform(k);
+        let obs = vec![0, 1, 2, 1, 0];
+        let marg = forward_backward(&t, &p, &m, &obs);
+        assert_eq!(marg.len(), obs.len());
+        for row in &marg {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn forward_backward_with_identity_emissions_recovers_observations() {
+        let k = 3;
+        let t = TransitionMatrix::from_rows(k, vec![1.0; k * k]).unwrap();
+        let m = Mechanism::identity(k);
+        let p = Prior::uniform(k);
+        let obs = vec![2, 0, 1];
+        let decoded = decode_marginals(&forward_backward(&t, &p, &m, &obs));
+        assert_eq!(decoded, obs);
+    }
+
+    #[test]
+    fn forward_backward_smooths_outliers_like_viterbi() {
+        let k = 2;
+        let t = TransitionMatrix::from_rows(k, vec![0.95, 0.05, 0.05, 0.95]).unwrap();
+        let m = Mechanism::from_matrix(k, vec![0.7, 0.3, 0.3, 0.7], 1e-9).unwrap();
+        let p = Prior::from_weights(&[1.0, 0.0]).unwrap();
+        let obs = vec![0, 0, 1, 0, 0];
+        let decoded = decode_marginals(&forward_backward(&t, &p, &m, &obs));
+        assert_eq!(decoded, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn forward_backward_empty_sequence() {
+        let k = 2;
+        let t = TransitionMatrix::from_rows(k, vec![0.5; 4]).unwrap();
+        assert!(forward_backward(&t, &Prior::uniform(k), &Mechanism::uniform(k), &[]).is_empty());
+    }
+
+    #[test]
+    fn trajectory_error_zero_for_perfect_decode() {
+        use roadnet::{generators, NodeDistances};
+        use vlp_core::Discretization;
+        let g = generators::grid(2, 2, 0.5, true);
+        let nd = NodeDistances::all_pairs(&g);
+        let disc = Discretization::new(&g, 0.25);
+        let dists = vlp_core::IntervalDistances::build(&g, &nd, &disc);
+        assert_eq!(trajectory_error(&[0, 1, 2], &[0, 1, 2], &dists), 0.0);
+        assert!(trajectory_error(&[0, 1, 2], &[0, 1, 3], &dists) > 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Inference attacks against road-network location obfuscation.
+//!
+//! Implements the two threat models of §3.2.2:
+//!
+//! * [`bayes`] — the single-report Bayesian attack: the adversary knows
+//!   the obfuscation mechanism and the worker's prior, computes the
+//!   posterior over true intervals for each report (Eq. 4), and issues
+//!   the *optimal remapping* guess that minimizes its own expected
+//!   error. The resulting expected distance between guess and truth is
+//!   the paper's **AdvError** privacy metric (§5.1);
+//! * [`hmm`] — the multi-report spatial-correlation attack: vehicle
+//!   motion is modelled as a hidden Markov chain whose transition
+//!   matrix is learned from floating-vehicle data (Eq. 5), and the true
+//!   trajectory is decoded from a sequence of obfuscated reports with
+//!   the Viterbi algorithm (Fig. 15).
+//!
+//! Both attacks operate on interval indices: the adversary sees the
+//! same discretized world the mechanism is defined on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod hmm;
+
+pub use bayes::{adv_error, conditional_entropy, optimal_estimates, posterior};
+pub use hmm::{decode_marginals, forward_backward, trajectory_error, viterbi, TransitionMatrix};

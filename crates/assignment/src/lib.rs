@@ -1,0 +1,361 @@
+//! Multi-vehicle spatial task assignment.
+//!
+//! The paper's Fig. 14 experiment deploys tasks and vehicles over the
+//! map and lets the server assign each task to a vehicle using
+//! *estimated* travel costs (computed from obfuscated locations); the
+//! measured outcome is the *true* total travel distance. This crate
+//! provides the matching machinery:
+//!
+//! * [`hungarian`] — exact minimum-cost bipartite matching
+//!   (Jonker-Volgenant style shortest augmenting paths with potentials,
+//!   `O(n²m)`);
+//! * [`greedy`] — the nearest-available heuristic, for contrast.
+//!
+//! Both accept rectangular cost matrices: every row (task) gets exactly
+//! one distinct column (vehicle) when `rows ≤ cols`; extra vehicles
+//! stay idle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// An assignment of rows to columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `pairs[r] = c`: row `r` is assigned column `c`.
+    pub pairs: Vec<usize>,
+}
+
+impl Assignment {
+    /// Total cost of this assignment under `cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment indexes outside `cost`.
+    pub fn total_cost(&self, cost: &[Vec<f64>]) -> f64 {
+        self.pairs
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| cost[r][c])
+            .sum()
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assignment of {} rows", self.pairs.len())?;
+        Ok(())
+    }
+}
+
+/// Error for malformed assignment inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssignError {
+    /// The cost matrix was empty or ragged.
+    MalformedMatrix,
+    /// More rows than columns: some row could not be assigned.
+    TooFewColumns {
+        /// Number of rows (tasks).
+        rows: usize,
+        /// Number of columns (vehicles).
+        cols: usize,
+    },
+    /// A cost entry was NaN or −∞.
+    NonFiniteCost,
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::MalformedMatrix => write!(f, "cost matrix is empty or ragged"),
+            AssignError::TooFewColumns { rows, cols } => {
+                write!(f, "cannot assign {rows} rows to only {cols} columns")
+            }
+            AssignError::NonFiniteCost => write!(f, "cost matrix contains NaN or -inf"),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
+
+fn validate(cost: &[Vec<f64>]) -> Result<(usize, usize), AssignError> {
+    let n = cost.len();
+    if n == 0 {
+        return Err(AssignError::MalformedMatrix);
+    }
+    let m = cost[0].len();
+    if m == 0 || cost.iter().any(|r| r.len() != m) {
+        return Err(AssignError::MalformedMatrix);
+    }
+    if n > m {
+        return Err(AssignError::TooFewColumns { rows: n, cols: m });
+    }
+    if cost
+        .iter()
+        .flatten()
+        .any(|v| v.is_nan() || *v == f64::NEG_INFINITY)
+    {
+        return Err(AssignError::NonFiniteCost);
+    }
+    Ok((n, m))
+}
+
+/// Exact minimum-cost assignment (Hungarian algorithm with potentials).
+///
+/// `cost[r][c]` is the cost of serving row `r` with column `c`
+/// (`+∞` entries mark forbidden pairs). Requires `rows ≤ cols`.
+///
+/// # Errors
+///
+/// See [`AssignError`].
+///
+/// # Example
+///
+/// ```
+/// let cost = vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0]];
+/// let a = assignment::hungarian(&cost)?;
+/// assert_eq!(a.total_cost(&cost), 3.0); // row0→col2? no: row0→col1(1)+row1→col0(2)
+/// # Ok::<(), assignment::AssignError>(())
+/// ```
+pub fn hungarian(cost: &[Vec<f64>]) -> Result<Assignment, AssignError> {
+    let (n, m) = validate(cost)?;
+    // 1-indexed Jonker-Volgenant with row/column potentials.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j]: row matched to column j
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if !delta.is_finite() {
+                // Every remaining column is forbidden; with rows ≤ cols
+                // and finite costs this cannot happen unless the caller
+                // used +∞ to forbid too much.
+                return Err(AssignError::TooFewColumns { rows: n, cols: m });
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut pairs = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            pairs[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(pairs.iter().all(|&c| c != usize::MAX));
+    Ok(Assignment { pairs })
+}
+
+/// Greedy nearest-available matching: repeatedly assigns the globally
+/// cheapest unmatched (row, column) pair. `O(n·m·min(n,m))`, no
+/// optimality guarantee — included as the natural heuristic a naive
+/// server would use.
+///
+/// # Errors
+///
+/// See [`AssignError`].
+pub fn greedy(cost: &[Vec<f64>]) -> Result<Assignment, AssignError> {
+    let (n, m) = validate(cost)?;
+    let mut row_done = vec![false; n];
+    let mut col_done = vec![false; m];
+    let mut pairs = vec![usize::MAX; n];
+    for _ in 0..n {
+        let mut best = (f64::INFINITY, usize::MAX, usize::MAX);
+        for (r, row) in cost.iter().enumerate() {
+            if row_done[r] {
+                continue;
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if !col_done[c] && v < best.0 {
+                    best = (v, r, c);
+                }
+            }
+        }
+        if best.1 == usize::MAX {
+            return Err(AssignError::TooFewColumns { rows: n, cols: m });
+        }
+        row_done[best.1] = true;
+        col_done[best.2] = true;
+        pairs[best.1] = best.2;
+    }
+    Ok(Assignment { pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        // Try every injective row→column mapping.
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, 0, n, &mut |perm| {
+            let total: f64 = (0..n).map(|r| cost[r][perm[r]]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(cols: &mut Vec<usize>, k: usize, n: usize, f: &mut impl FnMut(&[usize])) {
+        if k == n {
+            f(cols);
+            return;
+        }
+        for i in k..cols.len() {
+            cols.swap(k, i);
+            permute(cols, k + 1, n, f);
+            cols.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn square_known_instance() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = hungarian(&cost).unwrap();
+        assert_eq!(a.total_cost(&cost), 5.0);
+        // Assignment is a permutation.
+        let mut seen = [false; 3];
+        for &c in &a.pairs {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn rectangular_uses_best_columns() {
+        let cost = vec![vec![10.0, 1.0, 8.0, 2.0], vec![7.0, 6.0, 0.5, 9.0]];
+        let a = hungarian(&cost).unwrap();
+        assert_eq!(a.total_cost(&cost), 1.5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for trial in 0..30 {
+            let n = rng.random_range(1..5usize);
+            let m = rng.random_range(n..6usize);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.random_range(0.0..10.0f64)).collect())
+                .collect();
+            let a = hungarian(&cost).unwrap();
+            let want = brute_force(&cost);
+            assert!(
+                (a.total_cost(&cost) - want).abs() < 1e-9,
+                "trial {trial}: hungarian {} vs brute {want}",
+                a.total_cost(&cost)
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_never_better_than_hungarian() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let n = rng.random_range(2..6usize);
+            let m = rng.random_range(n..8usize);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.random_range(0.0..5.0f64)).collect())
+                .collect();
+            let h = hungarian(&cost).unwrap().total_cost(&cost);
+            let g = greedy(&cost).unwrap().total_cost(&cost);
+            assert!(h <= g + 1e-9, "greedy {g} beat hungarian {h}");
+        }
+    }
+
+    #[test]
+    fn greedy_counterexample_exists() {
+        // Classic: greedy takes the 0 and pays 10; optimal pays 1+1.
+        let cost = vec![vec![0.0, 1.0], vec![1.0, 10.0]];
+        let g = greedy(&cost).unwrap().total_cost(&cost);
+        let h = hungarian(&cost).unwrap().total_cost(&cost);
+        assert_eq!(g, 10.0);
+        assert_eq!(h, 2.0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(hungarian(&[]), Err(AssignError::MalformedMatrix)));
+        assert!(matches!(
+            hungarian(&[vec![1.0], vec![]]),
+            Err(AssignError::MalformedMatrix)
+        ));
+        assert!(matches!(
+            hungarian(&[vec![1.0], vec![2.0], vec![3.0]][..1 + 2]),
+            Err(AssignError::TooFewColumns { .. })
+        ));
+        assert!(matches!(
+            hungarian(&[vec![f64::NAN]]),
+            Err(AssignError::NonFiniteCost)
+        ));
+    }
+
+    #[test]
+    fn forbidden_pairs_via_infinity() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, 1.0], vec![2.0, inf]];
+        let a = hungarian(&cost).unwrap();
+        assert_eq!(a.pairs, vec![1, 0]);
+    }
+
+    #[test]
+    fn single_cell() {
+        let cost = vec![vec![3.5]];
+        let a = hungarian(&cost).unwrap();
+        assert_eq!(a.pairs, vec![0]);
+        assert_eq!(a.total_cost(&cost), 3.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the optimization stack: the simplex
+//! solver, constraint reduction, and the two D-VLP solve paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpsolve::{LinearProgram, Relation};
+use roadnet::generators;
+use std::hint::black_box;
+use vlp_core::constraint_reduction::{reduce_constraints, reduced_spec};
+use vlp_core::dvlp::solve_direct;
+use vlp_core::{CgOptions, PrivacySpec, VlpInstance};
+
+fn transportation_lp(n: usize) -> LinearProgram {
+    // Balanced n x n transportation problem with synthetic costs.
+    let mut lp = LinearProgram::new(n * n);
+    let obj: Vec<(usize, f64)> = (0..n * n)
+        .map(|k| (k, ((k * 7919) % 97) as f64 / 10.0))
+        .collect();
+    lp.set_objective(&obj).expect("valid objective");
+    for s in 0..n {
+        let row: Vec<(usize, f64)> = (0..n).map(|d| (s * n + d, 1.0)).collect();
+        lp.add_constraint(&row, Relation::Eq, 10.0)
+            .expect("valid row");
+    }
+    for d in 0..n {
+        let row: Vec<(usize, f64)> = (0..n).map(|s| (s * n + d, 1.0)).collect();
+        lp.add_constraint(&row, Relation::Eq, 10.0)
+            .expect("valid row");
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    for n in [5usize, 10, 15] {
+        let lp = transportation_lp(n);
+        g.bench_with_input(BenchmarkId::new("transportation", n), &lp, |b, lp| {
+            b.iter(|| lp.solve().expect("solvable"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_constraint_reduction(c: &mut Criterion) {
+    let graph = generators::downtown(5, 5, 0.3);
+    let mut g = c.benchmark_group("constraint_reduction");
+    for delta in [0.15, 0.10] {
+        let inst = VlpInstance::uniform(graph.clone(), delta);
+        g.bench_with_input(
+            BenchmarkId::new("algorithm1", format!("K={}", inst.len())),
+            &inst,
+            |b, inst| b.iter(|| reduce_constraints(black_box(&inst.aux), f64::INFINITY)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_spec", format!("K={}", inst.len())),
+            &inst,
+            |b, inst| b.iter(|| PrivacySpec::full(black_box(&inst.aux), 5.0, f64::INFINITY)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dvlp_solvers");
+    g.sample_size(10);
+    // Small instance for the direct LP (K^2 variables).
+    let small = VlpInstance::uniform(generators::grid(2, 2, 0.5, true), 0.5);
+    let spec = reduced_spec(&small.aux, 3.0, f64::INFINITY);
+    g.bench_function("direct_lp_K8", |b| {
+        b.iter(|| solve_direct(black_box(&small.cost), black_box(&spec)).expect("solves"))
+    });
+    // Larger instance for column generation.
+    let medium = VlpInstance::uniform(generators::downtown(3, 3, 0.3), 0.15);
+    g.bench_function(format!("column_generation_K{}", medium.len()), |b| {
+        b.iter(|| {
+            medium
+                .solve(5.0, f64::INFINITY, &CgOptions::default())
+                .expect("solves")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simplex, bench_constraint_reduction, bench_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the substrate crates: shortest paths,
+//! discretization, auxiliary-graph construction, and assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roadnet::{generators, NodeDistances, NodeId, ShortestPathTree, TreeDirection};
+use std::hint::black_box;
+use vlp_core::{AuxiliaryGraph, Discretization};
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dijkstra");
+    for (name, graph) in [
+        ("grid6", generators::grid(6, 6, 0.3, true)),
+        ("downtown8", generators::downtown(8, 8, 0.2)),
+        ("rome", generators::rome_like(3, 8, 0.6, 1)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("spt_out", name), &graph, |b, graph| {
+            b.iter(|| ShortestPathTree::build(black_box(graph), NodeId(0), TreeDirection::Out))
+        });
+        g.bench_with_input(BenchmarkId::new("all_pairs", name), &graph, |b, graph| {
+            b.iter(|| NodeDistances::all_pairs(black_box(graph)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let graph = generators::downtown(6, 6, 0.3);
+    let mut g = c.benchmark_group("discretize");
+    for delta in [0.15, 0.10, 0.05] {
+        g.bench_with_input(
+            BenchmarkId::new("partition", format!("{delta}")),
+            &delta,
+            |b, &d| b.iter(|| Discretization::new(black_box(&graph), d)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("auxiliary", format!("{delta}")),
+            &delta,
+            |b, &d| {
+                let disc = Discretization::new(&graph, d);
+                b.iter(|| AuxiliaryGraph::build(black_box(&graph), black_box(&disc)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut g = c.benchmark_group("assignment");
+    for n in [10usize, 20, 30] {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..n + 10)
+                    .map(|_| rng.random_range(0.0..10.0f64))
+                    .collect()
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("hungarian", n), &cost, |b, cost| {
+            b.iter(|| assignment::hungarian(black_box(cost)).expect("feasible"))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &cost, |b, cost| {
+            b.iter(|| assignment::greedy(black_box(cost)).expect("feasible"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dijkstra, bench_discretize, bench_assignment
+}
+criterion_main!(benches);

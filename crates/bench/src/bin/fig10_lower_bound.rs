@@ -1,0 +1,130 @@
+//! Fig. 10 — quality loss of our approach vs the VLP lower bound, per
+//! cab, across interval lengths δ; plus the approximation-ratio box
+//! plot.
+//!
+//! The paper compares each cab's quality loss against the continuous
+//! problem's lower bound (Prop. 3.3 of the ICDCS version, not restated
+//! in the text we reproduce from). Substitution: each δ's solution is
+//! compared against its own Theorem 4.4 dual bound (the Prop. 4.5
+//! closed form is also printed; it is much looser).
+//!
+//! Deviation note (EXPERIMENTS.md §Fig 10): at figure scale the
+//! product ε·δ is O(1), so coarser grids *relax* the boundary-pair
+//! Geo-I requirement (adjacent-interval points get ratio slack e^{εδ})
+//! and the optimum *rises* as δ shrinks — the discretized problem
+//! converges to the continuous optimum from below, not from above as
+//! in the paper's regime. What does reproduce is near-optimality at
+//! every δ: the ratio to the dual bound stays close to 1.
+//!
+//! δ values are scaled to our synthetic map (see DESIGN.md deviation
+//! notes): {0.45, 0.30, 0.20} km instead of {0.15, 0.10, 0.05} km.
+
+use vlp_bench::report::{km, print_table, ratio};
+use vlp_bench::scenarios;
+use vlp_core::bounds::tradeoff_lower_bound;
+
+fn main() {
+    let graph = scenarios::rome_graph();
+    let n_cabs: usize = std::env::var("VLP_CABS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let epsilon = 5.0;
+    let traces = scenarios::fleet(&graph, n_cabs.max(2), 400, 10);
+    let deltas = [0.45, 0.30, 0.20];
+
+    // Per-cab losses and per-(cab, delta) dual bounds.
+    let mut per_cab: Vec<Vec<f64>> = vec![Vec::new(); deltas.len()];
+    let mut per_bound: Vec<Vec<f64>> = vec![Vec::new(); deltas.len()];
+    let mut tradeoff: Vec<f64> = Vec::new();
+    for cab in 0..n_cabs {
+        for (di, &delta) in deltas.iter().enumerate() {
+            let inst = scenarios::cab_instance(&graph, delta, &traces[cab], &traces);
+            let (_, loss, diag) = scenarios::solve_ours(&inst, epsilon, scenarios::DEFAULT_XI);
+            per_cab[di].push(loss);
+            per_bound[di].push(diag.best_dual_bound().max(0.0));
+            if di == deltas.len() - 1 {
+                tradeoff.push(tradeoff_lower_bound(&inst.cost, &inst.aux, epsilon));
+            }
+        }
+    }
+    let bounds = per_bound.last().expect("nonempty deltas").clone();
+
+    // Fig 10(a): per-cab quality loss vs bound.
+    let headers: Vec<String> = std::iter::once("cab".to_string())
+        .chain(deltas.iter().map(|d| format!("QL d={d:.2}")))
+        .chain(["dual LB (fine)".to_string(), "Prop4.5 LB".to_string()])
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for cab in 0..n_cabs {
+        let mut row = vec![cab.to_string()];
+        row.extend(
+            deltas
+                .iter()
+                .enumerate()
+                .map(|(di, _)| km(per_cab[di][cab])),
+        );
+        row.push(km(bounds[cab]));
+        row.push(km(tradeoff[cab]));
+        rows.push(row);
+    }
+    print_table(
+        "Fig 10(a) — quality loss per cab vs lower bound (eps = 5/km)",
+        &header_refs,
+        &rows,
+    );
+
+    // Fig 10(b): box-plot summary of each delta's approximation
+    // ratio against its own dual bound.
+    let mut rows = Vec::new();
+    for (di, &delta) in deltas.iter().enumerate() {
+        let mut ratios: Vec<f64> = per_cab[di]
+            .iter()
+            .zip(&per_bound[di])
+            .map(|(&ql, &lb)| if lb > 0.0 { ql / lb } else { f64::NAN })
+            .filter(|r| r.is_finite())
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let q = |p: f64| ratios[((ratios.len() - 1) as f64 * p).round() as usize];
+        rows.push(vec![
+            format!("{delta:.2}"),
+            ratio(q(0.0)),
+            ratio(q(0.25)),
+            ratio(q(0.5)),
+            ratio(q(0.75)),
+            ratio(q(1.0)),
+        ]);
+    }
+    print_table(
+        "Fig 10(b) — approximation ratio (quality loss / own dual bound)",
+        &["delta", "min", "q1", "median", "q3", "max"],
+        &rows,
+    );
+
+    // Shape check (reproducible part of the claim): the solver is
+    // near-optimal at every delta.
+    let medians: Vec<f64> = rows
+        .iter()
+        .map(|r| r[3].parse::<f64>().expect("median"))
+        .collect();
+    let near_optimal = medians.iter().all(|&m| m < 1.15);
+    println!(
+        "\nshape check — near-optimal at every delta (median ratio < 1.15): {}",
+        if near_optimal { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "note — QL vs delta trend: {} (paper's regime falls with delta; at our\n\
+         eps*delta = O(1) scale the discretized Geo-I relaxation dominates and\n\
+         the trend inverts — see EXPERIMENTS.md)",
+        deltas
+            .iter()
+            .enumerate()
+            .map(|(di, d)| format!(
+                "d={d:.2}: {:.3}",
+                per_cab[di].iter().sum::<f64>() / n_cabs as f64
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig. 11 — ours vs the 2-D-plane optimal mechanism (2Db) in the
+//! trace-driven simulation: average quality loss (a) and AdvError (b)
+//! over the cab fleet, across privacy levels ε.
+//!
+//! Expected shape (paper): our approach has *lower* ETDD and *higher*
+//! AdvError at every ε (≈12.35 % lower quality loss, ≈6.91 % higher
+//! AdvError on average).
+
+use vlp_bench::report::{km, print_table, ratio};
+use vlp_bench::scenarios;
+
+fn main() {
+    let graph = scenarios::rome_graph();
+    let n_cabs: usize = std::env::var("VLP_CABS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let delta = 0.3;
+    let traces = scenarios::fleet(&graph, n_cabs.max(2), 400, 11);
+    let epsilons = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+
+    let mut rows = Vec::new();
+    let mut overall = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for &eps in &epsilons {
+        let mut ours = scenarios::Metrics {
+            etdd: 0.0,
+            adv_error: 0.0,
+        };
+        let mut twodb = scenarios::Metrics {
+            etdd: 0.0,
+            adv_error: 0.0,
+        };
+        for cab in 0..n_cabs {
+            let inst = scenarios::cab_instance(&graph, delta, &traces[cab], &traces);
+            let (mech, _, _) = scenarios::solve_ours(&inst, eps, scenarios::DEFAULT_XI);
+            let m1 = scenarios::evaluate(&inst, &mech);
+            let m2 = scenarios::evaluate(&inst, &scenarios::solve_2db(&inst, eps));
+            ours.etdd += m1.etdd / n_cabs as f64;
+            ours.adv_error += m1.adv_error / n_cabs as f64;
+            twodb.etdd += m2.etdd / n_cabs as f64;
+            twodb.adv_error += m2.adv_error / n_cabs as f64;
+        }
+        overall.0 += ours.etdd;
+        overall.1 += twodb.etdd;
+        overall.2 += ours.adv_error;
+        overall.3 += twodb.adv_error;
+        rows.push(vec![
+            format!("{eps:.0}"),
+            km(ours.etdd),
+            km(twodb.etdd),
+            km(ours.adv_error),
+            km(twodb.adv_error),
+        ]);
+    }
+    print_table(
+        "Fig 11(a)(b) — ours vs 2Db across eps (fleet averages)",
+        &["eps", "ETDD ours", "ETDD 2Db", "AdvErr ours", "AdvErr 2Db"],
+        &rows,
+    );
+
+    let ql_reduction = 1.0 - overall.0 / overall.1;
+    let adv_gain = overall.2 / overall.3 - 1.0;
+    println!(
+        "\nquality-loss reduction vs 2Db: {} (paper: 0.1235)",
+        ratio(ql_reduction)
+    );
+    println!(
+        "AdvError increase vs 2Db:      {} (paper: 0.0691)",
+        ratio(adv_gain)
+    );
+    println!(
+        "shape check — ours has lower quality loss: {}",
+        if ql_reduction > 0.0 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "shape check — ours has higher AdvError (paper): {}",
+        if adv_gain > 0.0 {
+            "PASS"
+        } else {
+            "FAIL (documented deviation — see EXPERIMENTS.md: at matched \
+             nominal eps the Euclidean baseline over-protects, trading \
+             quality for privacy)"
+        }
+    );
+}

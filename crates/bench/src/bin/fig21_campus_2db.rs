@@ -1,0 +1,59 @@
+//! Fig. 21 — pilot study: ours vs the 2-D-based method in Regions A
+//! and B.
+//!
+//! Expected shape (paper): our ETDD is lower (−7.41 % in A, −10.71 %
+//! in B) and our AdvError higher (+5.21 % in A, +8.64 % in B); the
+//! advantage is larger downtown, where Euclidean distance is a worse
+//! proxy for travel distance.
+
+use mobility::{estimate_prior, generate_trace, TraceConfig};
+use vlp_bench::report::{km, print_table, ratio};
+use vlp_bench::scenarios;
+use vlp_core::Discretization;
+
+fn main() {
+    let epsilon = 5.0;
+    let mut gains = Vec::new();
+    for (name, graph, delta) in [
+        ("A (rural)", scenarios::region_a(), 0.25),
+        ("B (downtown)", scenarios::region_b(), 0.25),
+    ] {
+        let disc = Discretization::new(&graph, delta);
+        let k = disc.len();
+        let cfg = TraceConfig {
+            reports: 800,
+            report_period_secs: 20.0,
+            ..TraceConfig::default()
+        };
+        let driver = generate_trace(&graph, &cfg, 21);
+        let f_p = estimate_prior(&graph, &disc, &[driver], scenarios::PRIOR_SMOOTHING)
+            .expect("driver on map");
+        let tasks = scenarios::spread_tasks(k, 50.min(k));
+        let inst = scenarios::instance_with_tasks(&graph, delta, f_p, &tasks);
+        let (mech, _, _) = scenarios::solve_ours(&inst, epsilon, scenarios::DEFAULT_XI);
+        let ours = scenarios::evaluate(&inst, &mech);
+        let twodb = scenarios::evaluate(&inst, &scenarios::solve_2db(&inst, epsilon));
+        let rows = vec![
+            vec!["ours".into(), km(ours.etdd), km(ours.adv_error)],
+            vec!["2Db".into(), km(twodb.etdd), km(twodb.adv_error)],
+        ];
+        print_table(
+            &format!("Fig 21 — region {name}: ours vs 2Db"),
+            &["method", "ETDD", "AdvError"],
+            &rows,
+        );
+        let etdd_gain = 1.0 - ours.etdd / twodb.etdd;
+        let adv_gain = ours.adv_error / twodb.adv_error - 1.0;
+        println!(
+            "region {name}: ETDD reduction {}, AdvError increase {}",
+            ratio(etdd_gain),
+            ratio(adv_gain)
+        );
+        gains.push((etdd_gain, adv_gain));
+    }
+    let ok = gains.iter().all(|&(e, _)| e > 0.0);
+    println!(
+        "\nshape check — ours has lower ETDD in both regions: {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+}

@@ -1,0 +1,193 @@
+//! The auxiliary interval graph `G' = (U', E')` of Definition 4.1.
+//!
+//! `G'` has one vertex per route interval; a directed edge connects
+//! `u'_i` to `u'_l` whenever a vehicle can travel directly from
+//! interval `u_i` into interval `u_l` — either the next interval on the
+//! same edge, or the first interval of a successor edge when `u_i` is
+//! the last interval of its edge.
+//!
+//! Distances measured on `G'` are the distances the Geo-I constraints
+//! of D-VLP use (Eq. 20); the paper's constraint-reduction algorithm
+//! runs its shortest-path trees on `G'`.
+//!
+//! **Edge weights.** Definition 4.1 idealizes every edge weight to `δ`,
+//! which is exact only when all road segments divide evenly into
+//! δ-intervals. Real edges leave clipped intervals (footnote 1 of the
+//! paper), and at coarse δ the uniform-weight idealization inflates
+//! interval distances — silently *loosening* Geo-I. We therefore weight
+//! the edge `u'_i → u'_l` by the travel distance between the intervals'
+//! ending endpoints, `d_G(u_i^e, u_l^e)` = the length of `u_l` — which
+//! is exactly the quantity Definition 4.2 places in the constraint
+//! exponent, and equals `δ` in the paper's idealized setting.
+
+use roadnet::{NodeDistances, RoadGraph, RoadGraphBuilder};
+
+use crate::discretize::Discretization;
+
+/// The auxiliary graph plus its all-pairs interval distances.
+#[derive(Debug, Clone)]
+pub struct AuxiliaryGraph {
+    /// `G'` represented as a road graph over interval vertices (each
+    /// vertex placed at its interval's midpoint for visualization).
+    graph: RoadGraph,
+    /// All-pairs directed distances on `G'`.
+    dists: NodeDistances,
+}
+
+impl AuxiliaryGraph {
+    /// Builds `G'` for the given discretized road network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the discretization does not belong to `graph` (interval
+    /// edge ids out of range).
+    pub fn build(graph: &RoadGraph, disc: &Discretization) -> Self {
+        let mut b = RoadGraphBuilder::new();
+        for u in disc.intervals() {
+            let (x, y) = u.midpoint().point(graph);
+            b.add_node(x, y);
+        }
+        // Edge weight into interval `l`: d_G(u_i^e, u_l^e) = |u_l|
+        // (see the module notes). Clipped intervals can be arbitrarily
+        // short; clamp to a metre so the graph stays valid.
+        let weight_into = |l: usize| disc.interval(l).length().max(1e-3);
+        for e in graph.edges() {
+            let range = disc.intervals_on_edge(e.id());
+            // Consecutive intervals along the edge.
+            for k in range.clone().take(range.len().saturating_sub(1)) {
+                b.add_edge(
+                    roadnet::NodeId(k),
+                    roadnet::NodeId(k + 1),
+                    weight_into(k + 1),
+                )
+                .expect("consecutive interval edge");
+            }
+            // Last interval of `e` connects to the first interval of
+            // every successor edge.
+            let last = range.end - 1;
+            for &succ in graph.out_edges(e.end()) {
+                let succ_first = disc.intervals_on_edge(succ).start;
+                if succ_first != last {
+                    b.add_edge(
+                        roadnet::NodeId(last),
+                        roadnet::NodeId(succ_first),
+                        weight_into(succ_first),
+                    )
+                    .expect("cross-connection interval edge");
+                }
+            }
+        }
+        let aux = b.build().expect("auxiliary graph is non-empty");
+        let dists = NodeDistances::all_pairs(&aux);
+        Self { graph: aux, dists }
+    }
+
+    /// Number of interval vertices `K`.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.graph.node_count() == 0
+    }
+
+    /// Number of directed adjacency edges `M = |E'|`.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The underlying graph over interval vertices (vertex `k`
+    /// corresponds to interval `u_k`).
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// Directed interval distance `d_{G'}(u_i, u_l)` in kilometres
+    /// (hops × δ). Infinite when `u_l` is unreachable from `u_i`.
+    pub fn distance(&self, i: usize, l: usize) -> f64 {
+        self.dists.get(roadnet::NodeId(i), roadnet::NodeId(l))
+    }
+
+    /// Bidirectional interval distance
+    /// `d^min(u_i, u_l) = min{d(u_i, u_l), d(u_l, u_i)}` (Eq. 1/20).
+    pub fn distance_min(&self, i: usize, l: usize) -> f64 {
+        self.distance(i, l).min(self.distance(l, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{generators, RoadGraphBuilder};
+
+    #[test]
+    fn chain_intervals_are_linked_in_order() {
+        // Single loop: e0 = v0->v1 len 1.0, e1 = v1->v0 len 1.0.
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let d = Discretization::new(&g, 0.5);
+        // 2 intervals per edge, K = 4: 0,1 on e0; 2,3 on e1.
+        let aux = AuxiliaryGraph::build(&g, &d);
+        assert_eq!(aux.len(), 4);
+        // Ring: 0 -> 1 -> 2 -> 3 -> 0, all distance δ.
+        assert_eq!(aux.distance(0, 1), 0.5);
+        assert_eq!(aux.distance(1, 2), 0.5);
+        assert_eq!(aux.distance(3, 0), 0.5);
+        // Going backwards requires a full loop: 3 hops.
+        assert_eq!(aux.distance(1, 0), 1.5);
+        // d_min picks the shorter direction.
+        assert_eq!(aux.distance_min(1, 0), 0.5);
+        assert_eq!(aux.distance_min(0, 2), 1.0);
+    }
+
+    #[test]
+    fn edge_count_near_vertex_count_on_real_maps() {
+        // The paper argues M ≈ K because G' is close to planar; our
+        // generators satisfy the same property.
+        let g = generators::grid(4, 4, 0.4, true);
+        let d = Discretization::new(&g, 0.1);
+        let aux = AuxiliaryGraph::build(&g, &d);
+        let ratio = aux.edge_count() as f64 / aux.len() as f64;
+        assert!(ratio < 2.0, "M/K = {ratio} too large");
+        assert!(ratio >= 1.0);
+    }
+
+    #[test]
+    fn distances_are_finite_on_connected_maps() {
+        let g = generators::downtown(3, 3, 0.3);
+        let d = Discretization::new(&g, 0.1);
+        let aux = AuxiliaryGraph::build(&g, &d);
+        for i in 0..aux.len() {
+            for l in 0..aux.len() {
+                assert!(aux.distance(i, l).is_finite(), "unreachable {i}->{l}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let g = generators::grid(2, 2, 0.5, true);
+        let d = Discretization::new(&g, 0.25);
+        let aux = AuxiliaryGraph::build(&g, &d);
+        for i in 0..aux.len() {
+            assert_eq!(aux.distance(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn distance_min_is_symmetric() {
+        let g = generators::downtown(3, 3, 0.3);
+        let d = Discretization::new(&g, 0.15);
+        let aux = AuxiliaryGraph::build(&g, &d);
+        for i in 0..aux.len() {
+            for l in 0..aux.len() {
+                assert_eq!(aux.distance_min(i, l), aux.distance_min(l, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Discrete planar-Laplace mechanism (Andrés et al., the original
+//! Geo-I construction).
+//!
+//! The continuous planar Laplace draws a reported point at planar
+//! distance `d` from the truth with density `∝ e^{-ε d}`; restricted to
+//! a finite interval set this becomes the exponential mechanism
+//! `z_{i,j} ∝ e^{-ε · d_E(i, j)}`, row-normalized. It satisfies
+//! `2ε`-Geo-I in the Euclidean metric (the classic factor-of-two loss
+//! of the exponential mechanism) and serves as a cheap,
+//! optimization-free baseline.
+
+use roadnet::RoadGraph;
+
+use crate::baseline::two_d::euclidean_matrix;
+use crate::discretize::Discretization;
+use crate::mechanism::Mechanism;
+
+/// Builds the discrete planar-Laplace mechanism at budget `epsilon`
+/// (per kilometre) over the given interval set.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not positive or the discretization is empty.
+pub fn planar_laplace(graph: &RoadGraph, disc: &Discretization, epsilon: f64) -> Mechanism {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let k = disc.len();
+    assert!(k > 0, "discretization is empty");
+    let d = euclidean_matrix(graph, disc);
+    let mut z = vec![0.0; k * k];
+    for i in 0..k {
+        let mut total = 0.0;
+        for j in 0..k {
+            let w = (-epsilon * d[i * k + j]).exp();
+            z[i * k + j] = w;
+            total += w;
+        }
+        for j in 0..k {
+            z[i * k + j] /= total;
+        }
+    }
+    Mechanism::from_matrix(k, z, 1e-9).expect("row-normalized by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generators;
+
+    fn setup() -> (RoadGraph, Discretization) {
+        let g = generators::grid(3, 2, 0.5, true);
+        let disc = Discretization::new(&g, 0.25);
+        (g, disc)
+    }
+
+    #[test]
+    fn is_row_stochastic() {
+        let (g, disc) = setup();
+        let m = planar_laplace(&g, &disc, 3.0);
+        assert!(m.is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn truth_is_the_mode() {
+        let (g, disc) = setup();
+        let m = planar_laplace(&g, &disc, 3.0);
+        for i in 0..m.len() {
+            let row = m.row(i);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(row[i] >= max - 1e-12, "row {i} mode is not the truth");
+        }
+    }
+
+    #[test]
+    fn satisfies_two_epsilon_euclidean_geo_i() {
+        let (g, disc) = setup();
+        let eps = 2.0;
+        let m = planar_laplace(&g, &disc, eps);
+        let k = m.len();
+        let d = euclidean_matrix(&g, &disc);
+        for i in 0..k {
+            for l in 0..k {
+                if i == l {
+                    continue;
+                }
+                let bound = (2.0 * eps * d[i * k + l]).exp();
+                for j in 0..k {
+                    assert!(
+                        m.prob(i, j) <= bound * m.prob(l, j) + 1e-12,
+                        "2ε-Geo-I violated at ({i},{l},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_epsilon_concentrates_mass() {
+        let (g, disc) = setup();
+        let loose = planar_laplace(&g, &disc, 1.0);
+        let tight = planar_laplace(&g, &disc, 10.0);
+        for i in 0..loose.len() {
+            assert!(tight.prob(i, i) > loose.prob(i, i));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Baseline obfuscation mechanisms the paper compares against.
+//!
+//! * [`two_d`] — the state-of-the-art 2-D-plane optimal mechanism of
+//!   Bordenabe et al. (reference \[24\], called "2Db" in §5.1): the same
+//!   global LP optimization as D-VLP but with *Euclidean* distance in
+//!   both the quality objective and the Geo-I constraints, with a
+//!   greedy spanner standing in for the full `O(K²)` constraint set
+//!   exactly as \[24\] proposes;
+//! * [`laplace`] — the discrete planar-Laplace mechanism of Andrés et
+//!   al. (the original Geo-I paper), included as a second,
+//!   optimization-free point of reference.
+
+pub mod laplace;
+pub mod two_d;

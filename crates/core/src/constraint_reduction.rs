@@ -1,0 +1,294 @@
+//! Constraint reduction for D-VLP (§4.2, Algorithm 1).
+//!
+//! The unreduced Geo-I constraint set pairs every two intervals within
+//! the protection radius — `O(K²)` pairs, `O(K³)` LP rows. By the
+//! transitivity of Geo-I along shortest paths of the auxiliary graph
+//! (Theorem 4.2), it suffices to constrain *adjacent* interval pairs
+//! lying on a chosen shortest path between each pair: chaining
+//! `z_i ≤ e^{εδ} z_{i+1}` along the shorter-direction path of length
+//! `d_min(u_i, u_l)` reproduces exactly `z_i ≤ e^{ε·d_min} z_l`, so the
+//! reduced program has the same feasible region and the same optimum.
+//!
+//! Per Property 4.1 both directions of every marked adjacent pair are
+//! constrained (each with exponent `ε·δ`), which makes the chained
+//! implication available in both directions.
+
+use std::collections::HashSet;
+
+use roadnet::{NodeId, ShortestPathTree, TreeDirection};
+
+use crate::auxiliary::AuxiliaryGraph;
+use crate::privacy::{PrivacyConstraint, PrivacySpec};
+
+/// The output of Algorithm 1: which adjacent interval pairs carry a
+/// Geo-I constraint.
+#[derive(Debug, Clone)]
+pub struct ReductionResult {
+    /// Directed auxiliary-graph edges `(l, k)` marked by the traversal
+    /// (the indicator matrix `U_con` of Algorithm 1, sparsely stored).
+    pub marked: HashSet<(usize, usize)>,
+    /// Number of interval vertices `K`.
+    pub k: usize,
+}
+
+/// Runs Algorithm 1 on the auxiliary graph.
+///
+/// For every root vertex `u'_i` the algorithm builds SPT-Out(i) and
+/// SPT-In(i), categorizes every other vertex by which direction gives
+/// the shorter path (line 5–9), and marks the edges of the chosen
+/// shortest path of every categorized vertex within `radius`
+/// (line 10–13). Shared path suffixes are marked once per root, keeping
+/// the whole run at `O(K·(M + K log K))`.
+pub fn reduce_constraints(aux: &AuxiliaryGraph, radius: f64) -> ReductionResult {
+    let graph = aux.graph();
+    let k = graph.node_count();
+    let mut marked: HashSet<(usize, usize)> = HashSet::new();
+    // Scratch: whether a vertex's `via` edge was already marked during
+    // the current root's traversal (separate flags per tree).
+    let mut done_out = vec![false; k];
+    let mut done_in = vec![false; k];
+    for i in 0..k {
+        let spt_out = ShortestPathTree::build(graph, NodeId(i), TreeDirection::Out);
+        let spt_in = ShortestPathTree::build(graph, NodeId(i), TreeDirection::In);
+        done_out.iter_mut().for_each(|f| *f = false);
+        done_in.iter_mut().for_each(|f| *f = false);
+        for j in 0..k {
+            if j == i {
+                continue;
+            }
+            let d_out = spt_out.distance(NodeId(j));
+            let d_in = spt_in.distance(NodeId(j));
+            if d_out.min(d_in) > radius {
+                continue;
+            }
+            // Line 6–9: categorize into U'_Out (shorter from the root)
+            // or U'_In (shorter towards the root); walk the chosen
+            // path marking edges until a previously walked suffix.
+            if d_out <= d_in {
+                // Walk up the Out tree: via_edge(cur) enters cur.
+                let mut cur = j;
+                while cur != i && !done_out[cur] {
+                    done_out[cur] = true;
+                    let Some(eid) = spt_out.via_edge(NodeId(cur)) else {
+                        break;
+                    };
+                    let e = graph.edge(eid);
+                    marked.insert((e.start().index(), e.end().index()));
+                    cur = e.start().index();
+                }
+            } else {
+                // Walk down the In tree: via_edge(cur) leaves cur.
+                let mut cur = j;
+                while cur != i && !done_in[cur] {
+                    done_in[cur] = true;
+                    let Some(eid) = spt_in.via_edge(NodeId(cur)) else {
+                        break;
+                    };
+                    let e = graph.edge(eid);
+                    marked.insert((e.start().index(), e.end().index()));
+                    cur = e.end().index();
+                }
+            }
+        }
+    }
+    ReductionResult { marked, k }
+}
+
+impl ReductionResult {
+    /// Number of distinct *unordered* adjacent pairs marked.
+    pub fn pair_count(&self) -> usize {
+        let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+        for &(a, b) in &self.marked {
+            pairs.insert(if a < b { (a, b) } else { (b, a) });
+        }
+        pairs.len()
+    }
+}
+
+/// Builds the constraint-reduced `(ε, r)`-Geo-I spec: both directions
+/// of every marked adjacent pair, each with the exponent distance
+/// `d_min(u_a, u_b)` of that adjacency (the auxiliary-graph edge
+/// weight; `δ` in the paper's idealized uniform-weight setting, the
+/// target interval's actual length here — see
+/// [`crate::AuxiliaryGraph`]'s edge-weight notes).
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not positive or `radius` is negative/NaN.
+pub fn reduced_spec(aux: &AuxiliaryGraph, epsilon: f64, radius: f64) -> PrivacySpec {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(radius >= 0.0, "radius must be non-negative");
+    // Weight of each directed adjacency.
+    let mut edge_weight: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    for e in aux.graph().edges() {
+        let key = (e.start().index(), e.end().index());
+        let w = edge_weight.entry(key).or_insert(f64::INFINITY);
+        *w = w.min(e.length());
+    }
+    let result = reduce_constraints(aux, radius);
+    // Collapse to unordered pairs with the minimum adjacent weight
+    // (d_min of the pair).
+    let mut pairs: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    for &(a, b) in &result.marked {
+        let w = edge_weight[&(a, b)];
+        let key = if a < b { (a, b) } else { (b, a) };
+        let cur = pairs.entry(key).or_insert(f64::INFINITY);
+        *cur = cur.min(w);
+    }
+    let mut constraints = Vec::with_capacity(2 * pairs.len());
+    let mut sorted: Vec<_> = pairs.into_iter().collect();
+    sorted.sort_unstable_by_key(|&(key, _)| key);
+    for ((a, b), w) in sorted {
+        constraints.push(PrivacyConstraint {
+            i: a,
+            l: b,
+            dist: w,
+        });
+        constraints.push(PrivacyConstraint {
+            i: b,
+            l: a,
+            dist: w,
+        });
+    }
+    PrivacySpec {
+        epsilon,
+        radius,
+        constraints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::Discretization;
+    use roadnet::generators;
+
+    fn aux(delta: f64) -> AuxiliaryGraph {
+        let g = generators::grid(3, 3, 0.4, true);
+        let d = Discretization::new(&g, delta);
+        AuxiliaryGraph::build(&g, &d)
+    }
+
+    #[test]
+    fn reduction_marks_only_adjacent_pairs() {
+        let aux = aux(0.2);
+        let res = reduce_constraints(&aux, f64::INFINITY);
+        let adjacency: std::collections::HashSet<(usize, usize)> = aux
+            .graph()
+            .edges()
+            .iter()
+            .map(|e| (e.start().index(), e.end().index()))
+            .collect();
+        for pair in &res.marked {
+            assert!(
+                adjacency.contains(pair),
+                "non-adjacent pair marked: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_is_dramatically_smaller_than_full() {
+        let aux = aux(0.2);
+        let k = aux.len();
+        let full = PrivacySpec::full(&aux, 5.0, f64::INFINITY);
+        let reduced = reduced_spec(&aux, 5.0, f64::INFINITY);
+        // Fig. 13(a): CR removes the vast majority of constraints.
+        assert!(reduced.lp_row_count(k) < full.lp_row_count(k) / 10);
+        // Reduced stays O(K·M).
+        assert!(reduced.pair_count() <= 2 * aux.edge_count());
+    }
+
+    #[test]
+    fn reduced_constraints_have_delta_distance() {
+        let aux = aux(0.2);
+        let reduced = reduced_spec(&aux, 5.0, f64::INFINITY);
+        for c in &reduced.constraints {
+            assert!((c.dist - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduced_set_contains_both_directions() {
+        let aux = aux(0.2);
+        let reduced = reduced_spec(&aux, 5.0, f64::INFINITY);
+        let set: std::collections::HashSet<(usize, usize)> =
+            reduced.constraints.iter().map(|c| (c.i, c.l)).collect();
+        for &(i, l) in &set {
+            assert!(set.contains(&(l, i)), "missing reverse of ({i},{l})");
+        }
+    }
+
+    #[test]
+    fn every_adjacent_pair_is_covered() {
+        // Every auxiliary edge is itself a shortest path between its two
+        // endpoints, so Algorithm 1 must mark (at least one direction
+        // of) every adjacency.
+        let aux = aux(0.2);
+        let res = reduce_constraints(&aux, f64::INFINITY);
+        for e in aux.graph().edges() {
+            let (a, b) = (e.start().index(), e.end().index());
+            assert!(
+                res.marked.contains(&(a, b)) || res.marked.contains(&(b, a)),
+                "adjacency ({a},{b}) uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_zero_marks_nothing() {
+        let aux = aux(0.2);
+        let res = reduce_constraints(&aux, 0.0);
+        assert!(res.marked.is_empty());
+    }
+
+    #[test]
+    fn chained_bound_reaches_every_pair_within_radius() {
+        // Chaining the reduced constraints along a shortest path must
+        // reproduce the full constraint exponent for every pair.
+        let aux = aux(0.25);
+        let eps = 3.0;
+        let reduced = reduced_spec(&aux, eps, f64::INFINITY);
+        // Build adjacency with bounds and run a min-plus closure on the
+        // exponent distances (shortest path in "constraint space").
+        let k = aux.len();
+        let mut expdist = vec![f64::INFINITY; k * k];
+        for i in 0..k {
+            expdist[i * k + i] = 0.0;
+        }
+        for c in &reduced.constraints {
+            let slot = &mut expdist[c.i * k + c.l];
+            *slot = slot.min(c.dist);
+        }
+        // Floyd-Warshall (k is small in this test).
+        for m in 0..k {
+            for i in 0..k {
+                let dim = expdist[i * k + m];
+                if !dim.is_finite() {
+                    continue;
+                }
+                for l in 0..k {
+                    let cand = dim + expdist[m * k + l];
+                    if cand < expdist[i * k + l] {
+                        expdist[i * k + l] = cand;
+                    }
+                }
+            }
+        }
+        for i in 0..k {
+            for l in 0..k {
+                if i == l {
+                    continue;
+                }
+                let want = aux.distance_min(i, l);
+                let got = expdist[i * k + l];
+                assert!(
+                    got <= want + 1e-9,
+                    "pair ({i},{l}): chained exponent {got} exceeds d_min {want}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Edge discretization into route intervals (§4.1, Step I).
+//!
+//! Every edge of the road network is partitioned into intervals of
+//! length `δ`, walking from the edge's starting connection towards its
+//! ending connection. Because edge lengths are not multiples of `δ`,
+//! the final interval of an edge may be shorter (the paper's footnote 1
+//! makes the same concession).
+
+use roadnet::{EdgeId, Location, RoadGraph};
+use serde::{Deserialize, Serialize};
+
+/// One route interval `u_k`: a contiguous stretch of a single edge.
+///
+/// An interval is described by the coordinates of its two endpoints in
+/// the paper's `x` convention (remaining distance to the edge's ending
+/// connection): `u_k^s = (e, x_hi)` is the endpoint nearer the edge
+/// start and `u_k^e = (e, x_lo)` the endpoint nearer the edge end, with
+/// `x_hi − x_lo = length ≤ δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Edge this interval lies on.
+    pub edge: EdgeId,
+    /// `x` coordinate of the interval's starting endpoint `u_k^s`.
+    pub x_hi: f64,
+    /// `x` coordinate of the interval's ending endpoint `u_k^e`.
+    pub x_lo: f64,
+}
+
+impl Interval {
+    /// The interval's length `x_hi − x_lo`.
+    pub fn length(&self) -> f64 {
+        self.x_hi - self.x_lo
+    }
+
+    /// The interval's starting endpoint `u_k^s` as a location.
+    pub fn start_point(&self) -> Location {
+        Location::new(self.edge, self.x_hi)
+    }
+
+    /// The interval's ending endpoint `u_k^e` as a location.
+    pub fn end_point(&self) -> Location {
+        Location::new(self.edge, self.x_lo)
+    }
+
+    /// The interval's midpoint, used as its representative location
+    /// when evaluating travel distances.
+    pub fn midpoint(&self) -> Location {
+        Location::new(self.edge, 0.5 * (self.x_hi + self.x_lo))
+    }
+
+    /// Whether `loc` lies inside this interval (on the same edge, with
+    /// `x ∈ (x_lo, x_hi]`; the lower endpoint belongs to the next
+    /// interval towards the edge end).
+    pub fn contains(&self, loc: Location) -> bool {
+        loc.edge() == self.edge
+            && loc.to_end() > self.x_lo - 1e-12
+            && loc.to_end() <= self.x_hi + 1e-12
+    }
+}
+
+/// The partition `U = {u_1, …, u_K}` of a road network into intervals.
+///
+/// # Example
+///
+/// ```
+/// use roadnet::generators;
+/// use vlp_core::Discretization;
+///
+/// let g = generators::grid(3, 3, 0.5, true);
+/// let disc = Discretization::new(&g, 0.1);
+/// assert_eq!(disc.len(), g.edge_count() * 5); // 0.5 km edges, δ = 0.1
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discretization {
+    delta: f64,
+    intervals: Vec<Interval>,
+    /// `edge_first[e]` = index of the first interval on edge `e`;
+    /// the edge's intervals are stored contiguously in travel order.
+    edge_first: Vec<usize>,
+    /// Number of intervals per edge.
+    edge_counts: Vec<usize>,
+}
+
+impl Discretization {
+    /// Partitions every edge of `graph` into equal-length intervals as
+    /// close to `delta` km as the edge length allows.
+    ///
+    /// The paper's Step I cuts exact-δ intervals and tolerates a short
+    /// leftover at the edge end (footnote 1). Exact-δ cutting leaves
+    /// sliver intervals (metres long) on edges whose length is not a
+    /// multiple of δ, and slivers poison both the auxiliary-graph
+    /// metric and the LP scaling; instead each edge is split into
+    /// `round(w_e/δ) ≥ 1` *equal* intervals, so every interval length
+    /// lies in `[2δ/3, 1.5δ]` (or is the whole edge when `w_e < δ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not a positive finite number.
+    pub fn new(graph: &RoadGraph, delta: f64) -> Self {
+        assert!(delta.is_finite() && delta > 0.0, "delta must be positive");
+        let mut intervals = Vec::new();
+        let mut edge_first = Vec::with_capacity(graph.edge_count());
+        let mut edge_counts = Vec::with_capacity(graph.edge_count());
+        for e in graph.edges() {
+            edge_first.push(intervals.len());
+            let w = e.length();
+            // Number of intervals: nearest to w/δ, at least one.
+            let count = ((w / delta).round() as usize).max(1);
+            let step = w / count as f64;
+            for k in 0..count {
+                let x_hi = w - k as f64 * step;
+                let x_lo = if k + 1 == count {
+                    0.0
+                } else {
+                    w - (k + 1) as f64 * step
+                };
+                intervals.push(Interval {
+                    edge: e.id(),
+                    x_hi,
+                    x_lo,
+                });
+            }
+            edge_counts.push(count);
+        }
+        Self {
+            delta,
+            intervals,
+            edge_first,
+            edge_counts,
+        }
+    }
+
+    /// The nominal interval length `δ` in kilometres.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Total number of intervals `K`.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the partition is empty (graphs always have ≥ 1 edge in
+    /// practice, but an edgeless graph discretizes to nothing).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// All intervals, in `(edge, travel-order)` order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The interval with index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k ≥ K`.
+    pub fn interval(&self, k: usize) -> &Interval {
+        &self.intervals[k]
+    }
+
+    /// Indices of the intervals on `edge`, in travel order.
+    pub fn intervals_on_edge(&self, edge: EdgeId) -> std::ops::Range<usize> {
+        let first = self.edge_first[edge.index()];
+        first..first + self.edge_counts[edge.index()]
+    }
+
+    /// The index of the interval containing `loc`.
+    ///
+    /// Returns `None` if `loc`'s edge is out of range or its coordinate
+    /// falls outside `[0, w_e]`.
+    pub fn locate(&self, graph: &RoadGraph, loc: Location) -> Option<usize> {
+        if loc.edge().index() >= graph.edge_count() {
+            return None;
+        }
+        let w = graph.edge(loc.edge()).length();
+        let x = loc.to_end();
+        if !(0.0..=w + 1e-12).contains(&x) {
+            return None;
+        }
+        let from_start = (w - x).max(0.0);
+        let count = self.edge_counts[loc.edge().index()];
+        let step = w / count as f64;
+        let k = ((from_start / step) as usize).min(count - 1);
+        Some(self.edge_first[loc.edge().index()] + k)
+    }
+
+    /// The relative location `δ(p) = x − x_{u_k}^e` of `p` inside its
+    /// interval (§4.1, Step I), or `None` if `p` cannot be located.
+    pub fn relative_location(&self, graph: &RoadGraph, p: Location) -> Option<f64> {
+        let k = self.locate(graph, p)?;
+        Some(p.to_end() - self.intervals[k].x_lo)
+    }
+
+    /// Transplants `p` into interval `l` preserving its relative
+    /// location (§4.1, Step II): the obfuscated location has the same
+    /// offset from its interval's ending endpoint as `p` has from its
+    /// own. When interval `l` is shorter than `p`'s offset the offset is
+    /// clamped to `l`'s length.
+    pub fn transplant(&self, graph: &RoadGraph, p: Location, l: usize) -> Option<Location> {
+        let rel = self.relative_location(graph, p)?;
+        let target = self.intervals.get(l)?;
+        let rel = rel.min(target.length());
+        Some(Location::new(target.edge, target.x_lo + rel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::RoadGraphBuilder;
+
+    /// One edge of length 1.0 and one of length 0.35.
+    fn two_edge_graph() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v0, 0.35).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn partitions_edges_in_travel_order() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.25);
+        // Edge 0 (len 1.0): 4 equal intervals; edge 1 (len 0.35):
+        // round(0.35/0.25) = 1 interval covering the whole edge.
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.intervals_on_edge(EdgeId(0)), 0..4);
+        assert_eq!(d.intervals_on_edge(EdgeId(1)), 4..5);
+        // First interval of edge 0 is nearest the start: x from 1.0 down
+        // to 0.75.
+        let first = d.interval(0);
+        assert!((first.x_hi - 1.0).abs() < 1e-12);
+        assert!((first.x_lo - 0.75).abs() < 1e-12);
+        // Edge 1's single interval spans it entirely.
+        let last = d.interval(4);
+        assert!((last.length() - 0.35).abs() < 1e-12);
+        assert_eq!(last.x_lo, 0.0);
+        assert!((last.x_hi - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intervals_are_equal_length_per_edge() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.3);
+        // Edge 0 (len 1.0): round(1.0/0.3) = 3 intervals of 1/3 each.
+        let lens: Vec<f64> = d
+            .intervals_on_edge(EdgeId(0))
+            .map(|k| d.interval(k).length())
+            .collect();
+        assert_eq!(lens.len(), 3);
+        for l in lens {
+            assert!((l - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn locate_roundtrips_midpoints() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.25);
+        for (k, u) in d.intervals().iter().enumerate() {
+            assert_eq!(d.locate(&g, u.midpoint()), Some(k), "interval {k}");
+        }
+    }
+
+    #[test]
+    fn locate_boundary_points() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.25);
+        // x = w (edge start) belongs to the first interval.
+        assert_eq!(d.locate(&g, Location::new(EdgeId(0), 1.0)), Some(0));
+        // x = 0 (edge end) belongs to the last interval of the edge.
+        assert_eq!(d.locate(&g, Location::new(EdgeId(0), 0.0)), Some(3));
+    }
+
+    #[test]
+    fn locate_rejects_out_of_range() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.25);
+        assert_eq!(d.locate(&g, Location::new(EdgeId(7), 0.1)), None);
+        assert_eq!(d.locate(&g, Location::new(EdgeId(0), 2.0)), None);
+        assert_eq!(d.locate(&g, Location::new(EdgeId(0), -0.5)), None);
+    }
+
+    #[test]
+    fn relative_location_and_transplant() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.25);
+        // p on edge 0, x = 0.80: interval 0 (x in [0.75, 1.0]),
+        // relative location 0.05.
+        let p = Location::new(EdgeId(0), 0.80);
+        assert!((d.relative_location(&g, p).unwrap() - 0.05).abs() < 1e-12);
+        // Transplant into interval 2 (x in [0.25, 0.50]) → x = 0.30.
+        let t = d.transplant(&g, p, 2).unwrap();
+        assert_eq!(t.edge(), EdgeId(0));
+        assert!((t.to_end() - 0.30).abs() < 1e-12);
+        // Same relative location before and after (Step II).
+        assert!(
+            (d.relative_location(&g, t).unwrap() - d.relative_location(&g, p).unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn transplant_clamps_into_short_intervals() {
+        // A graph with a deliberately short edge so one interval is
+        // shorter than the relative offset being transplanted.
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        let v2 = b.add_node(1.1, 0.0);
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v2, 0.1).unwrap();
+        b.add_edge(v2, v0, 1.1).unwrap();
+        let g = b.build().unwrap();
+        let d = Discretization::new(&g, 0.25);
+        let short = d.intervals_on_edge(EdgeId(1)).start;
+        assert!((d.interval(short).length() - 0.1).abs() < 1e-12);
+        // Relative location 0.20 exceeds the target's 0.1 length.
+        let p = Location::new(EdgeId(0), 0.95);
+        let t = d.transplant(&g, p, short).unwrap();
+        assert!(d.interval(short).contains(t));
+    }
+
+    #[test]
+    fn every_point_is_covered_exactly_once() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.3);
+        for e in g.edges() {
+            let w = e.length();
+            let mut x = 0.0;
+            while x <= w {
+                let loc = Location::new(e.id(), x);
+                let hits = d
+                    .intervals()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, u)| u.contains(loc))
+                    .count();
+                assert!(hits >= 1, "uncovered point {loc}");
+                let k = d.locate(&g, loc).unwrap();
+                assert!(d.interval(k).contains(loc));
+                x += 0.05;
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_tile_each_edge() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 0.25);
+        for e in g.edges() {
+            let total: f64 = d
+                .intervals_on_edge(e.id())
+                .map(|k| d.interval(k).length())
+                .sum();
+            assert!((total - e.length()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn rejects_nonpositive_delta() {
+        let g = two_edge_graph();
+        Discretization::new(&g, 0.0);
+    }
+
+    #[test]
+    fn single_interval_for_short_edges() {
+        let g = two_edge_graph();
+        let d = Discretization::new(&g, 5.0);
+        assert_eq!(d.len(), 2); // one interval per edge
+        assert_eq!(d.interval(0).length(), 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the VLP core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while formulating or solving a VLP instance.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VlpError {
+    /// Dimensions of the cost matrix, priors, or privacy spec disagree.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was found.
+        found: usize,
+    },
+    /// The underlying LP solver failed.
+    Lp(lpsolve::LpError),
+    /// The solver returned a matrix that is not row-stochastic even
+    /// after round-off absorption (indicates numerical trouble).
+    MalformedSolution,
+    /// The problem instance is degenerate (no intervals).
+    EmptyInstance,
+}
+
+impl fmt::Display for VlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VlpError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            VlpError::Lp(e) => write!(f, "linear program failed: {e}"),
+            VlpError::MalformedSolution => {
+                write!(f, "solver returned a non-stochastic obfuscation matrix")
+            }
+            VlpError::EmptyInstance => write!(f, "instance has no intervals"),
+        }
+    }
+}
+
+impl Error for VlpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VlpError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lpsolve::LpError> for VlpError {
+    fn from(e: lpsolve::LpError) -> Self {
+        VlpError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VlpError::Lp(lpsolve::LpError::Infeasible);
+        assert!(e.to_string().contains("infeasible"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&VlpError::EmptyInstance).is_none());
+    }
+}

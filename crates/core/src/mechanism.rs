@@ -1,0 +1,236 @@
+//! The location obfuscation mechanism: the matrix `Z = {z_{i,j}}`.
+
+use rand::RngExt;
+use roadnet::{Location, RoadGraph};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostMatrix;
+use crate::discretize::Discretization;
+use crate::privacy::PrivacySpec;
+
+/// A discrete location obfuscation mechanism over `K` intervals.
+///
+/// Row `i` is the conditional distribution of the reported interval
+/// given that the vehicle's true location lies in interval `u_i`
+/// (the collection `F` of §3.2.1, discretized per §4.1). The server
+/// computes it once and workers download it — [`Mechanism`] serializes
+/// with serde to support exactly that flow (§2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mechanism {
+    k: usize,
+    /// Row-major `K × K` probabilities.
+    z: Vec<f64>,
+}
+
+impl Mechanism {
+    /// Wraps a row-major `K × K` matrix, verifying that every row is a
+    /// probability distribution (within `tol`). Entries are clamped to
+    /// `[0, 1]` and rows renormalized to absorb solver round-off.
+    ///
+    /// Returns `None` if dimensions mismatch, any entry is non-finite
+    /// or below `-tol`, or a row sum strays from 1 by more than `tol`.
+    pub fn from_matrix(k: usize, mut z: Vec<f64>, tol: f64) -> Option<Self> {
+        if z.len() != k * k || k == 0 {
+            return None;
+        }
+        for row in 0..k {
+            let r = &mut z[row * k..(row + 1) * k];
+            if r.iter().any(|v| !v.is_finite() || *v < -tol) {
+                return None;
+            }
+            let sum: f64 = r.iter().map(|v| v.max(0.0)).sum();
+            if (sum - 1.0).abs() > tol || sum <= 0.0 {
+                return None;
+            }
+            for v in r.iter_mut() {
+                *v = v.max(0.0) / sum;
+            }
+        }
+        Some(Self { k, z })
+    }
+
+    /// The uniform mechanism: every true interval reports uniformly.
+    ///
+    /// Always feasible for any Geo-I spec; used to seed column
+    /// generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn uniform(k: usize) -> Self {
+        assert!(k > 0, "mechanism needs at least one interval");
+        Self {
+            k,
+            z: vec![1.0 / k as f64; k * k],
+        }
+    }
+
+    /// The truthful (identity) mechanism — maximal quality, no privacy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn identity(k: usize) -> Self {
+        assert!(k > 0, "mechanism needs at least one interval");
+        let mut z = vec![0.0; k * k];
+        for i in 0..k {
+            z[i * k + i] = 1.0;
+        }
+        Self { k, z }
+    }
+
+    /// Number of intervals `K`.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the mechanism covers no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// The probability `z_{i,j}` of reporting interval `j` from true
+    /// interval `i`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.z[i * self.k + j]
+    }
+
+    /// The conditional distribution of reports for true interval `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.z[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The full matrix, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// Samples a reported interval for true interval `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ K`.
+    pub fn sample_interval<R: RngExt + ?Sized>(&self, i: usize, rng: &mut R) -> usize {
+        let row = self.row(i);
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (j, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return j;
+            }
+        }
+        self.k - 1
+    }
+
+    /// Samples an obfuscated *location* for a true location `p`: draws
+    /// the reported interval from `p`'s row and transplants `p`'s
+    /// relative offset into it (§4.1, Step II).
+    ///
+    /// Returns `None` if `p` cannot be located in the discretization.
+    pub fn sample_location<R: RngExt + ?Sized>(
+        &self,
+        graph: &RoadGraph,
+        disc: &Discretization,
+        p: Location,
+        rng: &mut R,
+    ) -> Option<Location> {
+        let i = disc.locate(graph, p)?;
+        let j = self.sample_interval(i, rng);
+        disc.transplant(graph, p, j)
+    }
+
+    /// The expected quality loss (ETDD, Eq. 18) under cost matrix `c`.
+    pub fn quality_loss(&self, cost: &CostMatrix) -> f64 {
+        cost.quality_loss(&self.z)
+    }
+
+    /// Worst Geo-I violation against `spec`
+    /// (see [`PrivacySpec::max_violation`]).
+    pub fn max_violation(&self, spec: &PrivacySpec) -> f64 {
+        spec.max_violation(self.k, &self.z)
+    }
+
+    /// Whether every row sums to 1 within `tol` with non-negative
+    /// entries.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        (0..self.k).all(|i| {
+            let row = self.row(i);
+            row.iter().all(|&v| v >= -tol) && (row.iter().sum::<f64>() - 1.0).abs() <= tol
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_is_row_stochastic() {
+        let m = Mechanism::uniform(5);
+        assert!(m.is_row_stochastic(1e-12));
+        assert_eq!(m.prob(2, 3), 0.2);
+    }
+
+    #[test]
+    fn identity_reports_truthfully() {
+        let m = Mechanism::identity(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for i in 0..4 {
+            assert_eq!(m.sample_interval(i, &mut rng), i);
+        }
+    }
+
+    #[test]
+    fn from_matrix_normalizes_round_off() {
+        let z = vec![0.5 + 1e-9, 0.5, 0.25, 0.75 - 1e-9];
+        let m = Mechanism::from_matrix(2, z, 1e-6).unwrap();
+        assert!(m.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn from_matrix_rejects_bad_rows() {
+        assert!(Mechanism::from_matrix(2, vec![0.9, 0.0, 0.5, 0.5], 1e-6).is_none());
+        assert!(Mechanism::from_matrix(2, vec![1.2, -0.2, 0.5, 0.5], 1e-6).is_none());
+        assert!(Mechanism::from_matrix(2, vec![f64::NAN, 1.0, 0.5, 0.5], 1e-6).is_none());
+        assert!(Mechanism::from_matrix(3, vec![1.0; 4], 1e-6).is_none());
+    }
+
+    #[test]
+    fn sampling_matches_row_distribution() {
+        let z = vec![0.8, 0.2, 0.3, 0.7];
+        let m = Mechanism::from_matrix(2, z, 1e-9).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| m.sample_interval(0, &mut rng) == 0)
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "sampled {frac}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Mechanism::uniform(3);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: Mechanism = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn sample_location_lands_in_reported_interval() {
+        use roadnet::generators;
+        let g = generators::grid(2, 2, 0.5, true);
+        let disc = Discretization::new(&g, 0.25);
+        let k = disc.len();
+        let m = Mechanism::uniform(k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let p = disc.interval(0).midpoint();
+        for _ in 0..20 {
+            let obf = m.sample_location(&g, &disc, p, &mut rng).unwrap();
+            let j = disc.locate(&g, obf).unwrap();
+            assert!(disc.interval(j).contains(obf));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the vlp-core pipeline pieces.
+
+use proptest::prelude::*;
+use roadnet::{generators, NodeDistances, RoadGraph};
+use vlp_core::constraint_reduction::{reduce_constraints, reduced_spec};
+use vlp_core::{AuxiliaryGraph, CostMatrix, Discretization, IntervalDistances, Mechanism, Prior};
+
+fn arb_graph() -> impl Strategy<Value = RoadGraph> {
+    prop_oneof![
+        (2usize..4, 2usize..4, 0.3f64..0.7)
+            .prop_map(|(nx, ny, s)| generators::grid(nx, ny, s, true)),
+        (3usize..5, 3usize..5, 0.25f64..0.45)
+            .prop_map(|(nx, ny, s)| generators::downtown(nx, ny, s)),
+        (1usize..3, 3usize..6, 0.3f64..0.6, 0u64..50)
+            .prop_map(|(r, s, g, seed)| generators::rome_like(r, s, g, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every on-road location is covered by exactly the interval that
+    /// `locate` reports, and transplanting preserves interval
+    /// membership.
+    #[test]
+    fn discretization_covers_and_locates(
+        graph in arb_graph(),
+        delta in 0.15f64..0.6,
+        ef in 0.0f64..1.0,
+        xf in 0.0f64..1.0,
+        lf in 0.0f64..1.0,
+    ) {
+        let disc = Discretization::new(&graph, delta);
+        let e = ((graph.edge_count() as f64 - 1.0) * ef).round() as usize;
+        let edge = graph.edges()[e];
+        let p = roadnet::Location::new(edge.id(), edge.length() * xf);
+        let k = disc.locate(&graph, p).expect("on-road location must locate");
+        prop_assert!(disc.interval(k).contains(p));
+        // Transplant to a random interval stays inside it.
+        let target = ((disc.len() as f64 - 1.0) * lf).round() as usize;
+        let t = disc.transplant(&graph, p, target).expect("transplant");
+        prop_assert!(disc.interval(target).contains(t));
+        // Interval lengths never exceed 1.5 delta (equal-split bound).
+        for u in disc.intervals() {
+            prop_assert!(u.length() <= 1.5 * delta + 1e-12);
+        }
+    }
+
+    /// The auxiliary-graph distance is always at least the real road
+    /// distance between interval representatives could allow… at
+    /// minimum, aux distances are finite, non-negative, and satisfy
+    /// the triangle inequality used by the transitivity theorem.
+    #[test]
+    fn auxiliary_distances_form_a_quasi_metric(
+        graph in arb_graph(),
+        delta in 0.2f64..0.5,
+    ) {
+        let disc = Discretization::new(&graph, delta);
+        let aux = AuxiliaryGraph::build(&graph, &disc);
+        let k = aux.len().min(10);
+        for a in 0..k {
+            prop_assert_eq!(aux.distance(a, a), 0.0);
+            for b in 0..k {
+                let d = aux.distance(a, b);
+                prop_assert!(d.is_finite() && d >= 0.0);
+                for c in 0..k {
+                    prop_assert!(aux.distance(a, c) <= d + aux.distance(b, c) + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Algorithm 1 marks only auxiliary-graph adjacencies, covers every
+    /// adjacency, and the reduced spec implies the full Geo-I exponent
+    /// for every pair (min-plus closure check).
+    #[test]
+    fn constraint_reduction_is_sound(
+        graph in arb_graph(),
+        delta in 0.25f64..0.5,
+        eps in 1.0f64..8.0,
+    ) {
+        let disc = Discretization::new(&graph, delta);
+        let aux = AuxiliaryGraph::build(&graph, &disc);
+        let res = reduce_constraints(&aux, f64::INFINITY);
+        let adjacency: std::collections::HashSet<(usize, usize)> = aux
+            .graph()
+            .edges()
+            .iter()
+            .map(|e| (e.start().index(), e.end().index()))
+            .collect();
+        for pair in &res.marked {
+            prop_assert!(adjacency.contains(pair));
+        }
+        // Closure: chained reduced exponents reach d_min for all pairs.
+        let spec = reduced_spec(&aux, eps, f64::INFINITY);
+        let k = aux.len();
+        prop_assume!(k <= 60); // keep the Floyd-Warshall cheap
+        let mut ed = vec![f64::INFINITY; k * k];
+        for i in 0..k {
+            ed[i * k + i] = 0.0;
+        }
+        for c in &spec.constraints {
+            let s = &mut ed[c.i * k + c.l];
+            *s = s.min(c.dist);
+        }
+        for m in 0..k {
+            for i in 0..k {
+                let dim = ed[i * k + m];
+                if !dim.is_finite() {
+                    continue;
+                }
+                for l in 0..k {
+                    let cand = dim + ed[m * k + l];
+                    if cand < ed[i * k + l] {
+                        ed[i * k + l] = cand;
+                    }
+                }
+            }
+        }
+        for i in 0..k {
+            for l in 0..k {
+                if i != l {
+                    prop_assert!(
+                        ed[i * k + l] <= aux.distance_min(i, l) + 1e-9,
+                        "pair ({i},{l}) chained {} > d_min {}",
+                        ed[i * k + l],
+                        aux.distance_min(i, l)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cost matrices are non-negative with zero diagonal, and the
+    /// quality loss of any row-stochastic matrix is non-negative and
+    /// bounded by the max cost.
+    #[test]
+    fn cost_matrix_invariants(
+        graph in arb_graph(),
+        delta in 0.25f64..0.5,
+        wp in prop::collection::vec(0.01f64..3.0, 4),
+        wq in prop::collection::vec(0.01f64..3.0, 4),
+    ) {
+        let nd = NodeDistances::all_pairs(&graph);
+        let disc = Discretization::new(&graph, delta);
+        let id = IntervalDistances::build(&graph, &nd, &disc);
+        let k = disc.len();
+        let f_p = Prior::from_weights(&(0..k).map(|i| wp[i % wp.len()]).collect::<Vec<_>>()).expect("positive");
+        let f_q = Prior::from_weights(&(0..k).map(|i| wq[i % wq.len()]).collect::<Vec<_>>()).expect("positive");
+        let cost = CostMatrix::build(&id, &f_p, &f_q);
+        let mut max_c = 0.0f64;
+        for i in 0..k {
+            prop_assert_eq!(cost.get(i, i), 0.0);
+            for l in 0..k {
+                prop_assert!(cost.get(i, l) >= 0.0);
+                max_c = max_c.max(cost.get(i, l));
+            }
+        }
+        let uni = Mechanism::uniform(k);
+        let ql = uni.quality_loss(&cost);
+        prop_assert!(ql >= 0.0);
+        prop_assert!(ql <= max_c * k as f64 + 1e-9);
+        // Weighted cost with unit sensitivities equals the plain cost.
+        let unit = vec![1.0; k];
+        let w = CostMatrix::build_weighted(&id, &f_p, &f_q, &unit);
+        for i in 0..k {
+            for l in 0..k {
+                prop_assert!((w.get(i, l) - cost.get(i, l)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Mechanism sampling hits only intervals with positive mass, and
+    /// serde round-trips exactly.
+    #[test]
+    fn mechanism_sampling_and_serde(
+        rows in prop::collection::vec(0.0f64..1.0, 25),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let k = 5;
+        let mut z = rows;
+        for r in 0..k {
+            let s: f64 = z[r * k..(r + 1) * k].iter().sum();
+            prop_assume!(s > 1e-9);
+            for v in &mut z[r * k..(r + 1) * k] {
+                *v /= s;
+            }
+        }
+        let mech = Mechanism::from_matrix(k, z, 1e-9).expect("stochastic");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in 0..k {
+            let j = mech.sample_interval(i, &mut rng);
+            prop_assert!(mech.prob(i, j) > 0.0, "sampled zero-mass interval");
+        }
+        let json = serde_json::to_vec(&mech).expect("serialize");
+        let back: Mechanism = serde_json::from_slice(&json).expect("parse");
+        prop_assert_eq!(back, mech);
+    }
+}

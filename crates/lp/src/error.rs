@@ -1,0 +1,63 @@
+//! Error type for LP modelling and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or solving a [`crate::LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A coefficient referenced a variable index that does not exist.
+    UnknownVariable {
+        /// The offending variable index.
+        index: usize,
+        /// The number of variables in the program.
+        n_vars: usize,
+    },
+    /// A coefficient or right-hand side was NaN or infinite.
+    NonFiniteValue,
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective can be decreased without bound.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (numerical trouble or
+    /// severe degeneracy beyond what Bland's rule resolves in the
+    /// allotted budget).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable { index, n_vars } => {
+                write!(
+                    f,
+                    "variable index {index} out of range for {n_vars} variables"
+                )
+            }
+            LpError::NonFiniteValue => write!(f, "coefficient or bound is NaN or infinite"),
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded below"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::UnknownVariable {
+            index: 5,
+            n_vars: 2
+        }
+        .to_string()
+        .contains('5'));
+    }
+}

@@ -1,0 +1,645 @@
+//! Dense two-phase tableau simplex.
+//!
+//! Internal module; the public entry point is
+//! [`LinearProgram::solve`](crate::LinearProgram::solve).
+//!
+//! The implementation is the classic textbook method:
+//!
+//! 1. normalize every row to a non-negative right-hand side;
+//! 2. add a slack (`≤`) or surplus (`≥`) column per row, plus an
+//!    artificial column for `=` and `≥` rows;
+//! 3. **phase 1** minimizes the sum of artificials from the trivial
+//!    slack/artificial basis — a positive optimum proves infeasibility;
+//! 4. **phase 2** re-prices with the true objective (artificials barred
+//!    from entering) and iterates to optimality;
+//! 5. duals are read off the reduced costs of each row's slack or
+//!    artificial column.
+//!
+//! Pricing is Dantzig (most negative reduced cost) with a switch to
+//! Bland's rule late in the iteration budget to guarantee termination
+//! under degeneracy.
+
+// Dense numeric kernels below index several parallel arrays in one
+// loop; iterator rewrites would obscure the linear-algebra intent.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::LpError;
+use crate::problem::{LinearProgram, Relation, Solution};
+
+/// Pivot tolerance: entries smaller than this are treated as zero.
+const EPS: f64 = 1e-9;
+/// Phase-1 objective above this value declares infeasibility.
+const FEAS_TOL: f64 = 1e-6;
+/// Anti-degeneracy right-hand-side perturbation unit. Problems in this
+/// workspace carry many homogeneous rows (`a·x ≤ 0`), whose all-slack
+/// starting basis is maximally degenerate and stalls the simplex; a
+/// deterministic, row-indexed perturbation of the rhs breaks every tie
+/// while changing the optimum by at most `m · PERTURB` — far below the
+/// solution tolerances used by callers.
+const PERTURB: f64 = 1e-10;
+
+/// Minimum magnitude accepted for a ratio-test pivot element. Pivoting
+/// on smaller entries amplifies round-off by their reciprocal and was
+/// observed to corrupt long runs on degenerate Geo-I programs.
+const PIVOT_TOL: f64 = 1e-7;
+/// Refactorize (rebuild the tableau from the original data by
+/// Gauss-Jordan on the current basis) every this many pivots to purge
+/// accumulated floating-point drift.
+const REFACTOR_EVERY: usize = 150;
+
+/// A dense simplex tableau with an attached reduced-cost row.
+struct Tableau {
+    /// Number of constraint rows.
+    m: usize,
+    /// Total number of columns (structural + slack/surplus + artificial).
+    cols: usize,
+    /// Row-major data, each row has `cols + 1` entries (last = rhs).
+    data: Vec<f64>,
+    /// Pristine copy of `data` as assembled (basis = identity on the
+    /// initial slack/artificial columns); used for refactorization.
+    orig: Vec<f64>,
+    /// Reduced-cost row, `cols` entries.
+    reduced: Vec<f64>,
+    /// Current objective value of the phase being optimized.
+    objective: f64,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    /// Whether each column is currently basic (kept in lock-step with
+    /// `basis`); basic columns must never re-enter — their reduced
+    /// costs are zero by construction and any negative value is pure
+    /// round-off drift, but pivoting on such a column corrupts the
+    /// basis bookkeeping catastrophically.
+    in_basis: Vec<bool>,
+    /// First artificial column index (columns ≥ this are artificial).
+    first_artificial: usize,
+}
+
+impl Tableau {
+    fn row(&self, i: usize) -> &[f64] {
+        let w = self.cols + 1;
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * (self.cols + 1) + j]
+    }
+
+    fn rhs(&self, i: usize) -> f64 {
+        self.at(i, self.cols)
+    }
+
+    /// Performs a pivot on `(row, col)`: normalizes the pivot row and
+    /// eliminates `col` from all other rows and the reduced-cost row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.cols + 1;
+        let pivot_val = self.at(row, col);
+        debug_assert!(pivot_val.abs() > EPS, "pivot on a numerically zero entry");
+        let inv = 1.0 / pivot_val;
+        for j in 0..w {
+            self.data[row * w + j] *= inv;
+        }
+        // Re-read the normalized pivot row once to avoid aliasing.
+        let pivot_row: Vec<f64> = self.row(row).to_vec();
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.at(i, col);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for j in 0..w {
+                self.data[i * w + j] -= factor * pivot_row[j];
+            }
+            self.data[i * w + col] = 0.0; // exact zero by construction
+        }
+        let factor = self.reduced[col];
+        if factor.abs() > EPS {
+            for (j, r) in self.reduced.iter_mut().enumerate() {
+                *r -= factor * pivot_row[j];
+            }
+            self.objective += factor * pivot_row[self.cols];
+            self.reduced[col] = 0.0;
+        }
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+    }
+
+    /// Recomputes the reduced-cost row and objective for cost vector `c`
+    /// (dense over all columns).
+    fn reprice(&mut self, c: &[f64]) {
+        let mut reduced = c.to_vec();
+        let mut objective = 0.0;
+        for i in 0..self.m {
+            let cb = c[self.basis[i]];
+            if cb == 0.0 {
+                continue;
+            }
+            objective += cb * self.rhs(i);
+            let w = self.cols + 1;
+            for j in 0..self.cols {
+                reduced[j] -= cb * self.data[i * w + j];
+            }
+        }
+        self.reduced = reduced;
+        self.objective = objective;
+    }
+
+    /// Chooses the entering column: Dantzig by default, Bland when
+    /// `bland` is set. Artificial columns never enter when
+    /// `bar_artificial` is set. Returns `None` at optimality.
+    fn entering(&self, bland: bool, bar_artificial: bool) -> Option<usize> {
+        let limit = if bar_artificial {
+            self.first_artificial
+        } else {
+            self.cols
+        };
+        if bland {
+            (0..limit).find(|&j| !self.in_basis[j] && self.reduced[j] < -EPS)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..limit {
+                let r = self.reduced[j];
+                if !self.in_basis[j] && r < -EPS && best.is_none_or(|(_, br)| r < br) {
+                    best = Some((j, r));
+                }
+            }
+            best.map(|(j, _)| j)
+        }
+    }
+
+    /// Ratio test for entering column `col`. Returns the leaving row, or
+    /// `None` if the column is unbounded.
+    ///
+    /// Only entries above [`PIVOT_TOL`] qualify as pivots. Among rows
+    /// whose ratios tie (within `EPS`), Bland mode picks the smallest
+    /// basic column index (anti-cycling); otherwise the numerically
+    /// largest pivot element wins, with a preference for expelling
+    /// artificial columns.
+    fn leaving(&self, col: usize, bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64, f64)> = None; // (row, ratio, pivot)
+        for i in 0..self.m {
+            let a = self.at(i, col);
+            if a > PIVOT_TOL {
+                let ratio = self.rhs(i).max(0.0) / a;
+                let better = match best {
+                    None => true,
+                    Some((bi, br, bp)) => {
+                        if ratio < br - EPS {
+                            true
+                        } else if ratio > br + EPS {
+                            false
+                        } else if bland {
+                            self.basis[i] < self.basis[bi]
+                        } else {
+                            let bi_art = self.basis[bi] >= self.first_artificial;
+                            let i_art = self.basis[i] >= self.first_artificial;
+                            (i_art && !bi_art) || (i_art == bi_art && a > bp)
+                        }
+                    }
+                };
+                if better {
+                    best = Some((i, ratio, a));
+                }
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// Rebuilds the tableau from the pristine matrix for the current
+    /// basis via Gauss-Jordan with partial pivoting, then re-prices.
+    /// Returns `false` (leaving the tableau untouched) if the basis
+    /// matrix is numerically singular.
+    fn refactor(&mut self, c: &[f64]) -> bool {
+        let m = self.m;
+        let w = self.cols + 1;
+        // Augmented system [B | A b]: width m + w.
+        let aw = m + w;
+        let mut mat = vec![0.0; m * aw];
+        for i in 0..m {
+            for (bpos, &bcol) in self.basis.iter().enumerate() {
+                mat[i * aw + bpos] = self.orig[i * w + bcol];
+            }
+            mat[i * aw + m..i * aw + m + w].copy_from_slice(&self.orig[i * w..(i + 1) * w]);
+        }
+        // Reduce the B block to the identity.
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = mat[col * aw + col].abs();
+            for r in col + 1..m {
+                let v = mat[r * aw + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-11 {
+                return false;
+            }
+            if piv != col {
+                for j in 0..aw {
+                    mat.swap(col * aw + j, piv * aw + j);
+                }
+            }
+            let inv = 1.0 / mat[col * aw + col];
+            for j in 0..aw {
+                mat[col * aw + j] *= inv;
+            }
+            let pivot_row: Vec<f64> = mat[col * aw..(col + 1) * aw].to_vec();
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = mat[r * aw + col];
+                if f != 0.0 {
+                    for j in 0..aw {
+                        mat[r * aw + j] -= f * pivot_row[j];
+                    }
+                }
+            }
+        }
+        // The B block is now exactly the identity, so row r carries
+        // `e_r` in B-position r: its basic column is still `basis[r]`
+        // (column r of B). Row swaps reordered intermediate states
+        // only; the final correspondence is fixed by the identity.
+        for i in 0..m {
+            self.data[i * w..(i + 1) * w].copy_from_slice(&mat[i * aw + m..(i + 1) * aw]);
+        }
+        self.reprice(c);
+        true
+    }
+
+    /// Runs simplex iterations until optimality, unboundedness, or the
+    /// iteration limit. `c` is the active cost vector (needed for the
+    /// periodic refactorization).
+    fn optimize(&mut self, c: &[f64], bar_artificial: bool) -> Result<(), LpError> {
+        let budget = 200 * (self.m + self.cols) + 20_000;
+        let bland_after = budget / 2;
+        for iter in 0..budget {
+            if iter > 0 && iter % REFACTOR_EVERY == 0 {
+                self.refactor(c);
+            }
+            let bland = iter >= bland_after;
+            let Some(col) = self.entering(bland, bar_artificial) else {
+                return Ok(());
+            };
+            let Some(row) = self.leaving(col, bland) else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Normalized row data after sign-flipping to a non-negative rhs.
+struct NormRow {
+    coeffs: Vec<(usize, f64)>,
+    relation: Relation,
+    rhs: f64,
+    flipped: bool,
+}
+
+/// Solves `lp` and returns the optimum with primal and dual values.
+pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let n = lp.n_vars();
+    let rows: Vec<NormRow> = lp
+        .constraints()
+        .iter()
+        .map(|c| {
+            if c.rhs < 0.0 {
+                NormRow {
+                    coeffs: c.coeffs.iter().map(|&(i, v)| (i, -v)).collect(),
+                    relation: match c.relation {
+                        Relation::Le => Relation::Ge,
+                        Relation::Eq => Relation::Eq,
+                        Relation::Ge => Relation::Le,
+                    },
+                    rhs: -c.rhs,
+                    flipped: true,
+                }
+            } else {
+                NormRow {
+                    coeffs: c.coeffs.clone(),
+                    relation: c.relation,
+                    rhs: c.rhs,
+                    flipped: false,
+                }
+            }
+        })
+        .collect();
+    let m = rows.len();
+
+    // Column layout: structural | slack/surplus | artificial.
+    let mut slack_col = vec![usize::MAX; m];
+    let mut next = n;
+    for (i, r) in rows.iter().enumerate() {
+        if !matches!(r.relation, Relation::Eq) {
+            slack_col[i] = next;
+            next += 1;
+        }
+    }
+    let first_artificial = next;
+    let mut art_col = vec![usize::MAX; m];
+    for (i, r) in rows.iter().enumerate() {
+        if !matches!(r.relation, Relation::Le) {
+            art_col[i] = next;
+            next += 1;
+        }
+    }
+    let cols = next;
+
+    // Assemble the tableau.
+    let w = cols + 1;
+    let mut data = vec![0.0; m * w];
+    let mut basis = vec![0usize; m];
+    for (i, r) in rows.iter().enumerate() {
+        for &(j, v) in &r.coeffs {
+            data[i * w + j] += v;
+        }
+        match r.relation {
+            Relation::Le => {
+                data[i * w + slack_col[i]] = 1.0;
+                basis[i] = slack_col[i];
+            }
+            Relation::Ge => {
+                data[i * w + slack_col[i]] = -1.0;
+                data[i * w + art_col[i]] = 1.0;
+                basis[i] = art_col[i];
+            }
+            Relation::Eq => {
+                data[i * w + art_col[i]] = 1.0;
+                basis[i] = art_col[i];
+            }
+        }
+        // Perturb homogeneous inequality rows towards the interior
+        // (see PERTURB above); equality rows and rows with structural
+        // rhs stay exact so that consistent equality systems remain
+        // exactly feasible. Kept positive so rhs stays ≥ 0 for phase 1.
+        let perturb = if r.rhs == 0.0 && !matches!(r.relation, Relation::Eq) {
+            PERTURB * (i + 1) as f64
+        } else {
+            0.0
+        };
+        data[i * w + cols] = r.rhs + perturb;
+    }
+    let mut in_basis = vec![false; cols];
+    for &b in &basis {
+        in_basis[b] = true;
+    }
+    let mut t = Tableau {
+        m,
+        cols,
+        orig: data.clone(),
+        data,
+        reduced: vec![0.0; cols],
+        objective: 0.0,
+        basis,
+        in_basis,
+        first_artificial,
+    };
+
+    // Phase 1: minimize the sum of artificials (skipped when no
+    // artificial columns exist, i.e. all rows are `≤` with rhs ≥ 0).
+    if first_artificial < cols {
+        let mut c1 = vec![0.0; cols];
+        for c in c1.iter_mut().skip(first_artificial) {
+            *c = 1.0;
+        }
+        t.reprice(&c1);
+        t.optimize(&c1, false)?;
+        if t.objective > FEAS_TOL {
+            return Err(LpError::Infeasible);
+        }
+        // Drive basic artificials out of the basis where possible.
+        for i in 0..m {
+            if t.basis[i] >= first_artificial {
+                if let Some(j) = (0..first_artificial).find(|&j| t.at(i, j).abs() > 1e-7) {
+                    t.pivot(i, j);
+                }
+                // Otherwise the row is redundant; the artificial stays
+                // basic at value zero and is barred from re-entering.
+            }
+        }
+    }
+
+    // Phase 2: the true objective, from a freshly refactorized basis.
+    let mut c2 = vec![0.0; cols];
+    c2[..n].copy_from_slice(lp.objective());
+    if !t.refactor(&c2) {
+        t.reprice(&c2);
+    }
+    t.optimize(&c2, true)?;
+
+    // Extract the primal point.
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if t.basis[i] < n {
+            x[t.basis[i]] = t.rhs(i);
+        }
+    }
+
+    // Extract duals: y_i = −r(reference column of row i) where the
+    // reference column has +e_i and zero cost (slack for `≤`,
+    // artificial for `=`/`≥`); flip back rows normalized above.
+    let mut duals = vec![0.0; m];
+    for (i, r) in rows.iter().enumerate() {
+        let ref_col = match r.relation {
+            Relation::Le => slack_col[i],
+            _ => art_col[i],
+        };
+        let y = -t.reduced[ref_col];
+        duals[i] = if r.flipped { -y } else { y };
+    }
+
+    Ok(Solution {
+        objective: t.objective,
+        x,
+        duals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::{LinearProgram, Relation};
+    use crate::LpError;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_le_problem() {
+        // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        // Classic Hillier example: optimum -36 at (2, 6).
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, -3.0), (1, -5.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0).unwrap();
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0).unwrap();
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase_one() {
+        // min x + y s.t. x + y = 2, x - y = 0 → x = y = 1, obj 2.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, 1.0), (1, 1.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 0.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 → (4, 0)? check: obj 8 at
+        // (4,0); (1,3) gives 11. Optimum 8.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, 2.0), (1, 3.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 4.0)
+            .unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0).unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 8.0);
+        assert_close(s.x[0], 4.0);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -1 with min x (x,y>=0) → x=0, y>=1 feasible, obj 0.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, 1.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Le, -1.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 0.0);
+        assert!(s.x[1] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[(0, -1.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 0.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 0.0);
+        assert_close(s.x[0] + s.x[1], 1.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_le() {
+        // Strong duality: c'x* = y'b at the optimum.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, -3.0), (1, -5.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0).unwrap();
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0).unwrap();
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        let yb: f64 = s.duals[0] * 4.0 + s.duals[1] * 12.0 + s.duals[2] * 18.0;
+        assert_close(yb, s.objective);
+        // Minimization with ≤ rows: duals are non-positive.
+        for &y in &s.duals {
+            assert!(y <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_mixed() {
+        // min 2x + 3y + z s.t. x + y + z = 3, x - y >= 1, z <= 1.
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(&[(0, 2.0), (1, 3.0), (2, 1.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Eq, 3.0)
+            .unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        lp.add_constraint(&[(2, 1.0)], Relation::Le, 1.0).unwrap();
+        let s = lp.solve().unwrap();
+        let yb = s.duals[0] * 3.0 + s.duals[1] * 1.0 + s.duals[2] * 1.0;
+        assert_close(yb, s.objective);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-flavoured degenerate rows: many redundant copies.
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(&[(0, -1.0), (1, -1.0), (2, -1.0)])
+            .unwrap();
+        for _ in 0..5 {
+            lp.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 1.0)
+                .unwrap();
+        }
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0).unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -1.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // Same equality twice: phase 1 leaves one artificial basic at 0.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, 1.0), (1, 2.0)]).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 1.0);
+        assert_close(s.x[0], 1.0);
+    }
+
+    #[test]
+    fn no_constraints_zero_objective() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, 5.0)]).unwrap();
+        let s = lp.solve().unwrap();
+        // min 5x with x >= 0 and nothing else: x = 0.
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn transportation_problem() {
+        // 2 supplies (10, 20), 2 demands (15, 15), costs [[1,4],[2,1]].
+        // Variables x00 x01 x10 x11. Optimum: x00=10, x10=5, x11=15 →
+        // 10*1 + 5*2 + 15*1 = 35.
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(&[(0, 1.0), (1, 4.0), (2, 2.0), (3, 1.0)])
+            .unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 10.0)
+            .unwrap();
+        lp.add_constraint(&[(2, 1.0), (3, 1.0)], Relation::Eq, 20.0)
+            .unwrap();
+        lp.add_constraint(&[(0, 1.0), (2, 1.0)], Relation::Eq, 15.0)
+            .unwrap();
+        lp.add_constraint(&[(1, 1.0), (3, 1.0)], Relation::Eq, 15.0)
+            .unwrap();
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 35.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the simplex solver.
+
+use lpsolve::{LinearProgram, Relation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Box problems have the closed-form optimum
+    /// `Σ_i min(0, c_i · u_i)` (each variable goes to its bound or 0).
+    #[test]
+    fn box_problem_matches_closed_form(
+        cs in prop::collection::vec(-10.0f64..10.0, 1..8),
+        us in prop::collection::vec(0.1f64..5.0, 8),
+    ) {
+        let n = cs.len();
+        let mut lp = LinearProgram::new(n);
+        let obj: Vec<(usize, f64)> = cs.iter().copied().enumerate().collect();
+        lp.set_objective(&obj).unwrap();
+        for (i, &u) in us.iter().enumerate().take(n) {
+            lp.add_constraint(&[(i, 1.0)], Relation::Le, u).unwrap();
+        }
+        let s = lp.solve().unwrap();
+        let want: f64 = cs.iter().zip(&us).map(|(&c, &u)| (c * u).min(0.0)).sum();
+        prop_assert!((s.objective - want).abs() < 1e-6, "{} vs {}", s.objective, want);
+    }
+
+    /// Minimizing over the probability simplex picks the smallest cost.
+    #[test]
+    fn simplex_constraint_picks_min_cost(
+        cs in prop::collection::vec(-5.0f64..5.0, 2..10),
+    ) {
+        let n = cs.len();
+        let mut lp = LinearProgram::new(n);
+        let obj: Vec<(usize, f64)> = cs.iter().copied().enumerate().collect();
+        lp.set_objective(&obj).unwrap();
+        let ones: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+        lp.add_constraint(&ones, Relation::Eq, 1.0).unwrap();
+        let s = lp.solve().unwrap();
+        let want = cs.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!((s.objective - want).abs() < 1e-6);
+        // Primal point stays on the simplex.
+        let total: f64 = s.x.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(s.x.iter().all(|&v| v >= -1e-9));
+    }
+
+    /// Strong duality holds on random feasible bounded problems:
+    /// the program `min c·x` over a random polytope that always contains
+    /// the box `[0, 1]^n` (rhs ≥ row-sum of positive coefficients).
+    #[test]
+    fn strong_duality_on_random_feasible_problems(
+        seed_rows in prop::collection::vec(
+            prop::collection::vec(-3.0f64..3.0, 3), 1..6),
+        cs in prop::collection::vec(-4.0f64..4.0, 3),
+    ) {
+        let n = 3;
+        let mut lp = LinearProgram::new(n);
+        let obj: Vec<(usize, f64)> = cs.iter().copied().enumerate().collect();
+        lp.set_objective(&obj).unwrap();
+        let mut rhss = Vec::new();
+        for row in &seed_rows {
+            // rhs chosen so x = 0 is feasible: rhs = |max(0, ...)| + 1.
+            let rhs = row.iter().map(|v| v.max(0.0)).sum::<f64>().max(0.0) + 1.0;
+            let coeffs: Vec<(usize, f64)> = row.iter().copied().enumerate().collect();
+            lp.add_constraint(&coeffs, Relation::Le, rhs).unwrap();
+            rhss.push(rhs);
+        }
+        // Bound the feasible set so the problem cannot be unbounded.
+        for i in 0..n {
+            lp.add_constraint(&[(i, 1.0)], Relation::Le, 10.0).unwrap();
+            rhss.push(10.0);
+        }
+        let s = lp.solve().unwrap();
+        let yb: f64 = s.duals.iter().zip(&rhss).map(|(y, b)| y * b).sum();
+        prop_assert!((yb - s.objective).abs() < 1e-5,
+            "duality gap: y'b = {yb}, obj = {}", s.objective);
+        // Feasibility of the reported primal point.
+        for (ci, row) in seed_rows.iter().enumerate() {
+            let lhs: f64 = row.iter().zip(&s.x).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs <= rhss[ci] + 1e-6);
+        }
+    }
+
+    /// The reported primal point is always feasible and achieves the
+    /// reported objective, for random transportation-style problems
+    /// (which exercise phase 1 heavily).
+    #[test]
+    fn transportation_consistency(
+        supply in prop::collection::vec(1.0f64..20.0, 2..4),
+        demand_frac in prop::collection::vec(0.05f64..1.0, 2..4),
+        costs in prop::collection::vec(0.0f64..9.0, 16),
+    ) {
+        let ns = supply.len();
+        let nd = demand_frac.len();
+        let total: f64 = supply.iter().sum();
+        // Normalize demand to match total supply (balanced problem).
+        let dsum: f64 = demand_frac.iter().sum();
+        let demand: Vec<f64> = demand_frac.iter().map(|f| f / dsum * total).collect();
+        let n = ns * nd;
+        let mut lp = LinearProgram::new(n);
+        let obj: Vec<(usize, f64)> = (0..n).map(|k| (k, costs[k % costs.len()])).collect();
+        lp.set_objective(&obj).unwrap();
+        for (s_i, s_amt) in supply.iter().enumerate() {
+            let row: Vec<(usize, f64)> = (0..nd).map(|d| (s_i * nd + d, 1.0)).collect();
+            lp.add_constraint(&row, Relation::Eq, *s_amt).unwrap();
+        }
+        for (d_i, d_amt) in demand.iter().enumerate() {
+            let row: Vec<(usize, f64)> = (0..ns).map(|s| (s * nd + d_i, 1.0)).collect();
+            lp.add_constraint(&row, Relation::Eq, *d_amt).unwrap();
+        }
+        let sol = lp.solve().unwrap();
+        let achieved: f64 = (0..n).map(|k| sol.x[k] * costs[k % costs.len()]).sum();
+        prop_assert!((achieved - sol.objective).abs() < 1e-5);
+        // Row sums match supplies.
+        for (s_i, s_amt) in supply.iter().enumerate() {
+            let got: f64 = (0..nd).map(|d| sol.x[s_i * nd + d]).sum();
+            prop_assert!((got - s_amt).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Network-constrained vehicle mobility: trace generation and prior
+//! estimation.
+//!
+//! The paper's simulation (§5.1) is driven by the CRAWDAD Rome taxi
+//! dataset — 290 cabs' GPS trajectories over 30 days — from which it
+//! derives (a) per-vehicle location priors `f_P`, (b) a task prior
+//! `f_Q`, and (c) time-stamped trajectories for learning the HMM
+//! transition matrix (§3.2.2(b), footnote 4). That dataset is not
+//! redistributable, so this crate *generates* equivalent inputs: each
+//! vehicle performs a network-constrained random walk (continuous
+//! motion along edges, randomized turns at connections, optional
+//! attraction towards the map centre reproducing the downtown-skewed
+//! heat map of Fig. 9), sampled at a configurable reporting period.
+//!
+//! Everything downstream — discretization, priors, mechanisms, attacks
+//! — consumes only the outputs of this crate, so swapping in the real
+//! dataset would be a pure I/O exercise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod priors;
+pub mod traces;
+pub mod trips;
+
+pub use priors::{estimate_prior, interval_trace};
+pub use traces::{generate_fleet, generate_trace, subsample, TraceConfig, VehicleTrace};
+pub use trips::{generate_trip_trace, TripConfig};

@@ -1,0 +1,131 @@
+//! Prior estimation from traces (§5.1: "estimate each cab's prior
+//! probability distribution f_P based on its own records").
+
+use roadnet::RoadGraph;
+use vlp_core::{Discretization, Prior};
+
+use crate::traces::VehicleTrace;
+
+/// Estimates an interval-level prior from one or more traces by
+/// histogramming reports into intervals, with additive smoothing
+/// `alpha` (so that the posterior attack stays well-defined on
+/// intervals the vehicle never visited).
+///
+/// Returns `None` if no report could be located (e.g. traces from a
+/// different map).
+pub fn estimate_prior(
+    graph: &RoadGraph,
+    disc: &Discretization,
+    traces: &[VehicleTrace],
+    alpha: f64,
+) -> Option<Prior> {
+    let mut counts = vec![alpha; disc.len()];
+    let mut located = 0usize;
+    for t in traces {
+        for &loc in &t.locations {
+            if let Some(k) = disc.locate(graph, loc) {
+                counts[k] += 1.0;
+                located += 1;
+            }
+        }
+    }
+    if located == 0 {
+        return None;
+    }
+    Prior::from_weights(&counts)
+}
+
+/// Converts a trace into the interval-index sequence the HMM attack
+/// consumes. Reports that cannot be located are dropped.
+pub fn interval_trace(
+    graph: &RoadGraph,
+    disc: &Discretization,
+    trace: &VehicleTrace,
+) -> Vec<usize> {
+    trace
+        .locations
+        .iter()
+        .filter_map(|&loc| disc.locate(graph, loc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::{generate_trace, TraceConfig};
+    use roadnet::generators;
+
+    #[test]
+    fn prior_concentrates_where_the_vehicle_drives() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let disc = Discretization::new(&g, 0.2);
+        let cfg = TraceConfig {
+            reports: 500,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 17);
+        let p = estimate_prior(&g, &disc, std::slice::from_ref(&t), 0.0).unwrap();
+        // Mass sums to one and the visited interval has positive mass.
+        let s: f64 = p.as_slice().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        let k0 = disc.locate(&g, t.locations[0]).unwrap();
+        assert!(p.get(k0) > 0.0);
+    }
+
+    #[test]
+    fn smoothing_avoids_zero_mass() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let disc = Discretization::new(&g, 0.2);
+        let cfg = TraceConfig {
+            reports: 5,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 17);
+        let p = estimate_prior(&g, &disc, &[t], 0.5).unwrap();
+        assert!(p.as_slice().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn no_locatable_reports_returns_none() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let disc = Discretization::new(&g, 0.2);
+        let empty = VehicleTrace {
+            locations: vec![],
+            timestamps: vec![],
+        };
+        assert!(estimate_prior(&g, &disc, &[empty], 0.0).is_none());
+    }
+
+    #[test]
+    fn interval_trace_is_dense_and_in_range() {
+        let g = generators::downtown(3, 3, 0.3);
+        let disc = Discretization::new(&g, 0.15);
+        let cfg = TraceConfig {
+            reports: 100,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 23);
+        let seq = interval_trace(&g, &disc, &t);
+        assert_eq!(seq.len(), 100);
+        assert!(seq.iter().all(|&k| k < disc.len()));
+    }
+
+    #[test]
+    fn consecutive_intervals_are_near() {
+        // With a 7 s period at 30 km/h, consecutive interval indices
+        // should be within a couple of hops on the auxiliary graph.
+        let g = generators::grid(3, 3, 0.4, true);
+        let disc = Discretization::new(&g, 0.1);
+        let aux = vlp_core::AuxiliaryGraph::build(&g, &disc);
+        let cfg = TraceConfig {
+            reports: 200,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 31);
+        let seq = interval_trace(&g, &disc, &t);
+        for w in seq.windows(2) {
+            let d = aux.distance(w[0], w[1]).min(aux.distance(w[1], w[0]));
+            assert!(d <= 0.3 + 1e-9, "jump of {d} km between reports");
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Network-constrained random-walk trace generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use roadnet::{EdgeId, Location, RoadGraph};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic vehicle simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of location reports to record.
+    pub reports: usize,
+    /// Seconds between consecutive reports (the CRAWDAD cabs report
+    /// every ~7 s; the paper's Fig. 15 sweeps 70–105 s by
+    /// subsampling).
+    pub report_period_secs: f64,
+    /// Vehicle speed in km/h (held constant; city traffic averages
+    /// 20–40 km/h).
+    pub speed_kmh: f64,
+    /// Probability mass pulling turn decisions towards the map centre:
+    /// `0.0` = unbiased uniform turns, `1.0` = always pick the
+    /// centre-most successor. Reproduces downtown-concentrated priors.
+    pub center_bias: f64,
+    /// Probability of avoiding an immediate U-turn when alternatives
+    /// exist (real vehicles rarely reverse onto the anti-parallel
+    /// segment).
+    pub u_turn_avoidance: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            reports: 200,
+            report_period_secs: 7.0,
+            speed_kmh: 30.0,
+            center_bias: 0.3,
+            u_turn_avoidance: 0.9,
+        }
+    }
+}
+
+/// One vehicle's recorded trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VehicleTrace {
+    /// Recorded on-road locations, one per report.
+    pub locations: Vec<Location>,
+    /// Timestamps in seconds, aligned with `locations`.
+    pub timestamps: Vec<f64>,
+}
+
+impl VehicleTrace {
+    /// Number of reports in the trace.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Total path distance driven between first and last report,
+    /// assuming constant speed (km).
+    pub fn path_distance(&self, cfg: &TraceConfig) -> f64 {
+        if self.timestamps.len() < 2 {
+            return 0.0;
+        }
+        let secs = self.timestamps.last().unwrap() - self.timestamps[0];
+        secs / 3600.0 * cfg.speed_kmh
+    }
+}
+
+/// Simulates one vehicle and records its location every
+/// `report_period_secs`.
+///
+/// The vehicle starts on a seeded random edge and drives at constant
+/// speed; at each connection it chooses an outgoing edge uniformly,
+/// modulated by `center_bias` (preferring successors that lead towards
+/// the map's centroid) and `u_turn_avoidance`.
+///
+/// # Panics
+///
+/// Panics if the graph has no edges or the configuration is degenerate
+/// (non-positive speed, period, or zero reports).
+pub fn generate_trace(graph: &RoadGraph, cfg: &TraceConfig, seed: u64) -> VehicleTrace {
+    assert!(graph.edge_count() > 0, "graph has no edges");
+    assert!(cfg.speed_kmh > 0.0, "speed must be positive");
+    assert!(
+        cfg.report_period_secs > 0.0,
+        "report period must be positive"
+    );
+    assert!(cfg.reports > 0, "need at least one report");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Map centroid for the centre bias.
+    let (cx, cy) = {
+        let n = graph.node_count() as f64;
+        let sx: f64 = graph.nodes().iter().map(|v| v.x).sum();
+        let sy: f64 = graph.nodes().iter().map(|v| v.y).sum();
+        (sx / n, sy / n)
+    };
+    let mut edge = EdgeId(rng.random_range(0..graph.edge_count()));
+    // Remaining distance to the edge end (paper's x coordinate).
+    let mut x = rng.random_range(0.0..graph.edge(edge).length());
+    let step_km = cfg.speed_kmh * cfg.report_period_secs / 3600.0;
+    let mut locations = Vec::with_capacity(cfg.reports);
+    let mut timestamps = Vec::with_capacity(cfg.reports);
+    for r in 0..cfg.reports {
+        locations.push(Location::new(edge, x));
+        timestamps.push(r as f64 * cfg.report_period_secs);
+        // Advance by one reporting period.
+        let mut remaining = step_km;
+        while remaining > 0.0 {
+            if x > remaining {
+                x -= remaining;
+                remaining = 0.0;
+            } else {
+                remaining -= x;
+                let node = graph.edge(edge).end();
+                let choices = graph.out_edges(node);
+                assert!(
+                    !choices.is_empty(),
+                    "vehicle stuck at dead-end connection {node}"
+                );
+                edge = pick_edge(graph, choices, edge, (cx, cy), cfg, &mut rng);
+                x = graph.edge(edge).length();
+            }
+        }
+    }
+    VehicleTrace {
+        locations,
+        timestamps,
+    }
+}
+
+/// Chooses the next edge at a connection.
+fn pick_edge(
+    graph: &RoadGraph,
+    choices: &[EdgeId],
+    current: EdgeId,
+    centre: (f64, f64),
+    cfg: &TraceConfig,
+    rng: &mut StdRng,
+) -> EdgeId {
+    // Filter out the immediate U-turn with probability u_turn_avoidance.
+    let cur = graph.edge(current);
+    let mut candidates: Vec<EdgeId> = choices.to_vec();
+    if candidates.len() > 1 && rng.random_range(0.0..1.0) < cfg.u_turn_avoidance {
+        candidates.retain(|&e| {
+            let cand = graph.edge(e);
+            !(cand.end() == cur.start() && cand.start() == cur.end())
+        });
+        if candidates.is_empty() {
+            candidates = choices.to_vec();
+        }
+    }
+    if candidates.len() > 1 && rng.random_range(0.0..1.0) < cfg.center_bias {
+        // Pick the successor whose endpoint is closest to the centre.
+        let dist_to_centre = |e: EdgeId| {
+            let v = graph.node(graph.edge(e).end());
+            ((v.x - centre.0).powi(2) + (v.y - centre.1).powi(2)).sqrt()
+        };
+        return *candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                dist_to_centre(a)
+                    .partial_cmp(&dist_to_centre(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("candidates is non-empty");
+    }
+    candidates[rng.random_range(0..candidates.len())]
+}
+
+/// Simulates a fleet of vehicles with per-vehicle seeds derived from
+/// `base_seed`.
+pub fn generate_fleet(
+    graph: &RoadGraph,
+    cfg: &TraceConfig,
+    n_vehicles: usize,
+    base_seed: u64,
+) -> Vec<VehicleTrace> {
+    (0..n_vehicles)
+        .map(|v| {
+            generate_trace(
+                graph,
+                cfg,
+                base_seed.wrapping_add(v as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
+        .collect()
+}
+
+/// Keeps every `n`-th report — the paper's footnote 4: "to create a
+/// trajectory with the report time interval equal to 7n, we take 1
+/// sample from every n reports".
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn subsample(trace: &VehicleTrace, n: usize) -> VehicleTrace {
+    assert!(n > 0, "subsample step must be positive");
+    VehicleTrace {
+        locations: trace.locations.iter().copied().step_by(n).collect(),
+        timestamps: trace.timestamps.iter().copied().step_by(n).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generators;
+
+    #[test]
+    fn trace_has_requested_length_and_valid_locations() {
+        let g = generators::downtown(4, 4, 0.25);
+        let cfg = TraceConfig {
+            reports: 50,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 42);
+        assert_eq!(t.len(), 50);
+        for loc in &t.locations {
+            let e = g.edge(loc.edge());
+            assert!(loc.to_end() >= 0.0 && loc.to_end() <= e.length() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let g = generators::grid(3, 3, 0.3, true);
+        let cfg = TraceConfig::default();
+        assert_eq!(generate_trace(&g, &cfg, 7), generate_trace(&g, &cfg, 7));
+        assert_ne!(
+            generate_trace(&g, &cfg, 7).locations,
+            generate_trace(&g, &cfg, 8).locations
+        );
+    }
+
+    #[test]
+    fn consecutive_reports_are_close() {
+        // At 30 km/h and 7 s period, consecutive reports are ≤ ~0.06 km
+        // apart along the road, hence ≤ that straight-line too.
+        let g = generators::grid(4, 4, 0.5, true);
+        let cfg = TraceConfig {
+            reports: 100,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 3);
+        let step = cfg.speed_kmh * cfg.report_period_secs / 3600.0;
+        for w in t.locations.windows(2) {
+            assert!(w[0].euclidean(w[1], &g) <= step + 1e-9);
+        }
+    }
+
+    #[test]
+    fn center_bias_concentrates_mass() {
+        let g = generators::rome_like(3, 8, 1.0, 5);
+        let biased_cfg = TraceConfig {
+            reports: 2000,
+            center_bias: 0.6,
+            ..TraceConfig::default()
+        };
+        let unbiased_cfg = TraceConfig {
+            reports: 2000,
+            center_bias: 0.0,
+            ..TraceConfig::default()
+        };
+        let mean_radius = |t: &VehicleTrace| {
+            t.locations
+                .iter()
+                .map(|l| {
+                    let (x, y) = l.point(&g);
+                    (x * x + y * y).sqrt()
+                })
+                .sum::<f64>()
+                / t.len() as f64
+        };
+        let biased: f64 = (0..5)
+            .map(|s| mean_radius(&generate_trace(&g, &biased_cfg, s)))
+            .sum::<f64>()
+            / 5.0;
+        let unbiased: f64 = (0..5)
+            .map(|s| mean_radius(&generate_trace(&g, &unbiased_cfg, s)))
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            biased < unbiased,
+            "biased walks should stay closer to the centre: {biased} vs {unbiased}"
+        );
+    }
+
+    #[test]
+    fn fleet_produces_distinct_vehicles() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let fleet = generate_fleet(&g, &TraceConfig::default(), 5, 99);
+        assert_eq!(fleet.len(), 5);
+        assert_ne!(fleet[0].locations, fleet[1].locations);
+    }
+
+    #[test]
+    fn subsample_stretches_period() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let cfg = TraceConfig {
+            reports: 30,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 1);
+        let s = subsample(&t, 10);
+        assert_eq!(s.len(), 3);
+        assert!((s.timestamps[1] - s.timestamps[0] - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "subsample step must be positive")]
+    fn subsample_rejects_zero() {
+        let g = generators::grid(2, 2, 0.4, true);
+        let t = generate_trace(&g, &TraceConfig::default(), 0);
+        subsample(&t, 0);
+    }
+
+    #[test]
+    fn path_distance_matches_speed() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let cfg = TraceConfig {
+            reports: 11,
+            report_period_secs: 36.0,
+            speed_kmh: 10.0,
+            ..TraceConfig::default()
+        };
+        let t = generate_trace(&g, &cfg, 2);
+        // 10 intervals of 36 s at 10 km/h = 1 km.
+        assert!((t.path_distance(&cfg) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Origin-destination trip mobility: vehicles drive *to places*.
+//!
+//! The random walk of [`crate::traces`] matches aimless cruising; real
+//! taxi traces alternate between purposeful trips (shortest path to a
+//! destination) and dwelling at the destination. This model draws
+//! destinations from a spatial attraction distribution, follows the
+//! shortest road path, dwells, and repeats — producing traces whose
+//! priors concentrate at attractions and whose transitions are strongly
+//! directional, a tougher setting for the HMM adversary model.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use roadnet::{EdgeId, Location, NodeId, RoadGraph, ShortestPathTree, TreeDirection};
+
+use crate::traces::VehicleTrace;
+
+/// Parameters of the trip-based simulator.
+#[derive(Debug, Clone)]
+pub struct TripConfig {
+    /// Number of location reports to record.
+    pub reports: usize,
+    /// Seconds between consecutive reports.
+    pub report_period_secs: f64,
+    /// Vehicle speed in km/h.
+    pub speed_kmh: f64,
+    /// Mean dwell time at a destination, in reports (geometric).
+    pub mean_dwell_reports: f64,
+    /// Attraction weight per node: destinations are drawn
+    /// proportionally. Empty = uniform over nodes.
+    pub attraction: Vec<f64>,
+}
+
+impl Default for TripConfig {
+    fn default() -> Self {
+        Self {
+            reports: 300,
+            report_period_secs: 7.0,
+            speed_kmh: 30.0,
+            mean_dwell_reports: 4.0,
+            attraction: Vec::new(),
+        }
+    }
+}
+
+/// Simulates one vehicle running destination-directed trips.
+///
+/// # Panics
+///
+/// Panics if the graph has no edges, the configuration is degenerate,
+/// or `attraction` is non-empty but does not match the node count.
+pub fn generate_trip_trace(graph: &RoadGraph, cfg: &TripConfig, seed: u64) -> VehicleTrace {
+    assert!(graph.edge_count() > 0, "graph has no edges");
+    assert!(cfg.reports > 0, "need at least one report");
+    assert!(
+        cfg.speed_kmh > 0.0 && cfg.report_period_secs > 0.0,
+        "degenerate kinematics"
+    );
+    if !cfg.attraction.is_empty() {
+        assert_eq!(
+            cfg.attraction.len(),
+            graph.node_count(),
+            "attraction dimension mismatch"
+        );
+        assert!(
+            cfg.attraction.iter().all(|w| w.is_finite() && *w >= 0.0)
+                && cfg.attraction.iter().sum::<f64>() > 0.0,
+            "attraction weights must be non-negative with positive mass"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pick_destination = |rng: &mut StdRng| -> NodeId {
+        if cfg.attraction.is_empty() {
+            NodeId(rng.random_range(0..graph.node_count()))
+        } else {
+            let total: f64 = cfg.attraction.iter().sum();
+            let mut u = rng.random_range(0.0..total);
+            for (i, &w) in cfg.attraction.iter().enumerate() {
+                u -= w;
+                if u <= 0.0 {
+                    return NodeId(i);
+                }
+            }
+            NodeId(graph.node_count() - 1)
+        }
+    };
+
+    // Start on a random edge.
+    let mut edge = EdgeId(rng.random_range(0..graph.edge_count()));
+    let mut x = rng.random_range(0.0..graph.edge(edge).length());
+    let step_km = cfg.speed_kmh * cfg.report_period_secs / 3600.0;
+
+    // Current trip: shortest-path tree towards the destination node.
+    let mut dest = pick_destination(&mut rng);
+    let mut to_dest = ShortestPathTree::build(graph, dest, TreeDirection::In);
+    let mut dwell_left = 0usize;
+
+    let mut locations = Vec::with_capacity(cfg.reports);
+    let mut timestamps = Vec::with_capacity(cfg.reports);
+    for r in 0..cfg.reports {
+        locations.push(Location::new(edge, x));
+        timestamps.push(r as f64 * cfg.report_period_secs);
+        if dwell_left > 0 {
+            dwell_left -= 1;
+            continue;
+        }
+        let mut remaining = step_km;
+        while remaining > 0.0 {
+            if x > remaining {
+                x -= remaining;
+                remaining = 0.0;
+            } else {
+                remaining -= x;
+                let node = graph.edge(edge).end();
+                if node == dest {
+                    // Arrived: dwell, then pick the next trip.
+                    dwell_left = sample_geometric(cfg.mean_dwell_reports, &mut rng);
+                    loop {
+                        let next = pick_destination(&mut rng);
+                        if next != node {
+                            dest = next;
+                            break;
+                        }
+                    }
+                    to_dest = ShortestPathTree::build(graph, dest, TreeDirection::In);
+                    remaining = 0.0;
+                    // Park just before the connection on the same edge.
+                    x = f64::EPSILON;
+                    continue;
+                }
+                // Follow the shortest path towards the destination.
+                let eid = to_dest
+                    .via_edge(node)
+                    .unwrap_or_else(|| graph.out_edges(node)[0]);
+                edge = eid;
+                x = graph.edge(edge).length();
+            }
+        }
+    }
+    VehicleTrace {
+        locations,
+        timestamps,
+    }
+}
+
+/// Geometric dwell sampler with the given mean (in reports).
+fn sample_geometric(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut n = 0usize;
+    while rng.random_range(0.0..1.0) > p && n < 10_000 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generators;
+
+    fn setup() -> RoadGraph {
+        generators::grid(4, 4, 0.4, true)
+    }
+
+    #[test]
+    fn trip_trace_has_requested_length_and_stays_on_map() {
+        let g = setup();
+        let t = generate_trip_trace(&g, &TripConfig::default(), 5);
+        assert_eq!(t.len(), 300);
+        for loc in &t.locations {
+            let e = g.edge(loc.edge());
+            assert!(loc.to_end() >= 0.0 && loc.to_end() <= e.length() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn trip_trace_is_deterministic_per_seed() {
+        let g = setup();
+        let cfg = TripConfig::default();
+        assert_eq!(
+            generate_trip_trace(&g, &cfg, 9),
+            generate_trip_trace(&g, &cfg, 9)
+        );
+        assert_ne!(
+            generate_trip_trace(&g, &cfg, 9).locations,
+            generate_trip_trace(&g, &cfg, 10).locations
+        );
+    }
+
+    #[test]
+    fn attraction_concentrates_visits() {
+        let g = setup();
+        // All attraction mass on node 0 (corner at the origin).
+        let mut attraction = vec![0.001; g.node_count()];
+        attraction[0] = 10.0;
+        let cfg = TripConfig {
+            reports: 600,
+            attraction,
+            mean_dwell_reports: 8.0,
+            ..TripConfig::default()
+        };
+        let t = generate_trip_trace(&g, &cfg, 11);
+        let corner = g.node(NodeId(0));
+        let near_corner = t
+            .locations
+            .iter()
+            .filter(|l| {
+                let (x, y) = l.point(&g);
+                ((x - corner.x).powi(2) + (y - corner.y).powi(2)).sqrt() < 0.5
+            })
+            .count();
+        let uniform_cfg = TripConfig {
+            reports: 600,
+            mean_dwell_reports: 8.0,
+            ..TripConfig::default()
+        };
+        let u = generate_trip_trace(&g, &uniform_cfg, 11);
+        let near_uniform = u
+            .locations
+            .iter()
+            .filter(|l| {
+                let (x, y) = l.point(&g);
+                ((x - corner.x).powi(2) + (y - corner.y).powi(2)).sqrt() < 0.5
+            })
+            .count();
+        assert!(
+            near_corner > near_uniform,
+            "attraction must pull visits: {near_corner} vs {near_uniform}"
+        );
+    }
+
+    #[test]
+    fn consecutive_reports_respect_speed() {
+        let g = setup();
+        let cfg = TripConfig {
+            reports: 200,
+            ..TripConfig::default()
+        };
+        let t = generate_trip_trace(&g, &cfg, 3);
+        let step = cfg.speed_kmh * cfg.report_period_secs / 3600.0;
+        for w in t.locations.windows(2) {
+            assert!(w[0].euclidean(w[1], &g) <= step + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "attraction dimension mismatch")]
+    fn rejects_misdimensioned_attraction() {
+        let g = setup();
+        let cfg = TripConfig {
+            attraction: vec![1.0; 3],
+            ..TripConfig::default()
+        };
+        generate_trip_trace(&g, &cfg, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The vehicle-based spatial-crowdsourcing platform of the paper's
+//! framework section (§2, Fig. 2).
+//!
+//! The paper's system has two sides:
+//!
+//! * **Server** — publishes tasks, computes the obfuscation function
+//!   (via `vlp-core`), distributes it to workers, collects obfuscated
+//!   reports before each *snapshot* of task assignment, assigns tasks
+//!   by estimated travel cost, and *updates the obfuscation function
+//!   when the workers' location distribution drifts* ("the function is
+//!   updated by the server based on the change of the worker's location
+//!   distribution (estimated by the worker's reported location)");
+//! * **Workers** — label themselves `available` / `occupied`, report
+//!   obfuscated locations only while available, head to the assigned
+//!   task instantly upon assignment, and return to `available` after
+//!   completion.
+//!
+//! [`Simulation`] wires both sides over a road network with
+//! trace-driven worker motion and reports end-to-end metrics (true
+//! travel distance of assignments, completion counts, mechanism
+//! refreshes). Every piece of the workspace participates: `roadnet`
+//! supplies the map, `mobility` the motion, `vlp-core` the mechanism,
+//! `assignment` the matching.
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{Server, ServerConfig, Simulation, SimulationConfig};
+//! use roadnet::generators;
+//!
+//! let graph = generators::grid(3, 3, 0.4, true);
+//! let server = Server::bootstrap(graph, ServerConfig {
+//!     delta: 0.2,
+//!     epsilon: 5.0,
+//!     ..ServerConfig::default()
+//! })?;
+//! let mut sim = Simulation::new(server, SimulationConfig {
+//!     n_workers: 4,
+//!     ..SimulationConfig::default()
+//! }, 7);
+//! let report = sim.run(40);
+//! assert!(report.completed_tasks > 0);
+//! # Ok::<(), vlp_core::VlpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+mod simulation;
+mod worker;
+
+pub use server::{Server, ServerConfig, SnapshotOutcome};
+pub use simulation::{Simulation, SimulationConfig, SimulationReport};
+pub use worker::{Worker, WorkerId, WorkerStatus};
+
+/// Identifier of a published task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// A spatial task: something a worker must physically reach.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Identifier assigned at publication.
+    pub id: TaskId,
+    /// The interval the task is located in.
+    pub interval: usize,
+}

@@ -1,0 +1,437 @@
+//! The server side of the framework (§2): task publication, snapshot
+//! assignment from obfuscated reports, and mechanism lifecycle.
+
+use roadnet::{NodeDistances, RoadGraph};
+use vlp_core::constraint_reduction::reduced_spec;
+use vlp_core::{
+    solve_column_generation, AuxiliaryGraph, CgOptions, CostMatrix, Discretization,
+    IntervalDistances, Mechanism, Prior, VlpError,
+};
+
+use crate::{Task, TaskId, WorkerId};
+
+/// Server-side configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interval length δ for the discretization, km.
+    pub delta: f64,
+    /// Geo-I privacy budget ε, per km.
+    pub epsilon: f64,
+    /// Geo-I protection radius, km.
+    pub radius: f64,
+    /// Column-generation options for (re-)solving the mechanism.
+    pub cg: CgOptions,
+    /// Total-variation drift between the assumed prior's report
+    /// marginal and the observed report histogram that triggers a
+    /// mechanism refresh (§2: the function "is updated by the server
+    /// based on the change of the worker's location distribution").
+    pub refresh_tv_threshold: f64,
+    /// Minimum number of collected reports before drift is evaluated.
+    pub refresh_min_reports: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            delta: 0.2,
+            epsilon: 5.0,
+            radius: f64::INFINITY,
+            cg: CgOptions::default(),
+            refresh_tv_threshold: 0.2,
+            refresh_min_reports: 50,
+        }
+    }
+}
+
+/// The outcome of one assignment snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotOutcome {
+    /// `(task, worker, estimated travel km)` triples, one per assigned
+    /// task. The estimate is computed from the *reported* interval —
+    /// the server never sees true locations.
+    pub assignments: Vec<(TaskId, WorkerId, f64)>,
+    /// Tasks left unassigned (no reporting workers remained).
+    pub unassigned: Vec<TaskId>,
+}
+
+/// The crowdsourcing server: owns the map model, the task queue, the
+/// obfuscation mechanism, and the report statistics driving refreshes.
+#[derive(Debug, Clone)]
+pub struct Server {
+    graph: RoadGraph,
+    disc: Discretization,
+    aux: AuxiliaryGraph,
+    interval_dists: IntervalDistances,
+    config: ServerConfig,
+    f_p: Prior,
+    f_q: Prior,
+    mechanism: Mechanism,
+    epoch: u64,
+    /// Quality loss of the current mechanism under the assumed priors.
+    quality_loss: f64,
+    /// Observed report histogram since the last refresh.
+    report_counts: Vec<f64>,
+    report_total: f64,
+    tasks: Vec<Task>,
+    pending: Vec<TaskId>,
+    refreshes: u64,
+}
+
+impl Server {
+    /// Boots a server with uniform worker and task priors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VlpError`] from the initial mechanism solve.
+    pub fn bootstrap(graph: RoadGraph, config: ServerConfig) -> Result<Self, VlpError> {
+        let disc = Discretization::new(&graph, config.delta);
+        let k = disc.len();
+        Self::with_priors(graph, config, Prior::uniform(k), Prior::uniform(k))
+    }
+
+    /// Boots a server with explicit priors (e.g. estimated from
+    /// historical traces).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VlpError`] from the initial mechanism solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priors do not match the discretization size.
+    pub fn with_priors(
+        graph: RoadGraph,
+        config: ServerConfig,
+        f_p: Prior,
+        f_q: Prior,
+    ) -> Result<Self, VlpError> {
+        let node_dists = NodeDistances::all_pairs(&graph);
+        let disc = Discretization::new(&graph, config.delta);
+        let k = disc.len();
+        assert_eq!(f_p.len(), k, "f_P dimension mismatch");
+        assert_eq!(f_q.len(), k, "f_Q dimension mismatch");
+        let aux = AuxiliaryGraph::build(&graph, &disc);
+        let interval_dists = IntervalDistances::build(&graph, &node_dists, &disc);
+        let mut server = Self {
+            graph,
+            disc,
+            aux,
+            interval_dists,
+            config,
+            f_p,
+            f_q,
+            mechanism: Mechanism::uniform(k),
+            epoch: 0,
+            quality_loss: f64::INFINITY,
+            report_counts: vec![0.0; k],
+            report_total: 0.0,
+            tasks: Vec::new(),
+            pending: Vec::new(),
+            refreshes: 0,
+        };
+        server.resolve_mechanism()?;
+        Ok(server)
+    }
+
+    /// Re-solves the mechanism for the current priors and bumps the
+    /// epoch.
+    fn resolve_mechanism(&mut self) -> Result<(), VlpError> {
+        let cost = CostMatrix::build(&self.interval_dists, &self.f_p, &self.f_q);
+        let spec = reduced_spec(&self.aux, self.config.epsilon, self.config.radius);
+        let (mechanism, loss, _) = solve_column_generation(&cost, &spec, &self.config.cg)?;
+        self.mechanism = mechanism;
+        self.quality_loss = loss;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// The road network this server operates on.
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// The interval partition workers report against.
+    pub fn disc(&self) -> &Discretization {
+        &self.disc
+    }
+
+    /// Travel distances between intervals (server's cost model).
+    pub fn interval_dists(&self) -> &IntervalDistances {
+        &self.interval_dists
+    }
+
+    /// The current obfuscation function, ready for worker download.
+    pub fn mechanism(&self) -> &Mechanism {
+        &self.mechanism
+    }
+
+    /// Epoch of the current mechanism (bumps on every refresh).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Expected quality loss of the current mechanism under the
+    /// server's assumed priors.
+    pub fn quality_loss(&self) -> f64 {
+        self.quality_loss
+    }
+
+    /// Number of mechanism refreshes triggered by prior drift.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// The server's current belief about the worker location prior.
+    pub fn assumed_prior(&self) -> &Prior {
+        &self.f_p
+    }
+
+    /// Publishes a task at the given interval and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval ≥ K`.
+    pub fn publish_task(&mut self, interval: usize) -> TaskId {
+        assert!(interval < self.disc.len(), "task interval out of range");
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task { id, interval });
+        self.pending.push(id);
+        id
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this server.
+    pub fn task(&self, id: TaskId) -> Task {
+        self.tasks[id.0]
+    }
+
+    /// Tasks waiting for assignment.
+    pub fn pending_tasks(&self) -> &[TaskId] {
+        &self.pending
+    }
+
+    /// Runs one assignment snapshot over the collected reports:
+    /// Hungarian matching of pending tasks to reporting workers using
+    /// travel costs estimated *from the reported intervals*.
+    ///
+    /// Every report is also folded into the drift statistics.
+    pub fn snapshot(&mut self, reports: &[(WorkerId, usize)]) -> SnapshotOutcome {
+        for &(_, j) in reports {
+            if j < self.report_counts.len() {
+                self.report_counts[j] += 1.0;
+                self.report_total += 1.0;
+            }
+        }
+        if reports.is_empty() || self.pending.is_empty() {
+            return SnapshotOutcome {
+                assignments: Vec::new(),
+                unassigned: self.pending.clone(),
+            };
+        }
+        // Hungarian needs rows ≤ columns: assign at most as many tasks
+        // as there are reporting workers, oldest tasks first.
+        let n_assign = self.pending.len().min(reports.len());
+        let rows: Vec<TaskId> = self.pending[..n_assign].to_vec();
+        let cost: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|&tid| {
+                let t = self.tasks[tid.0].interval;
+                reports
+                    .iter()
+                    .map(|&(_, j)| self.interval_dists.get(j, t))
+                    .collect()
+            })
+            .collect();
+        let matched = assignment::hungarian(&cost).expect("tasks <= reporting workers");
+        let mut assignments = Vec::with_capacity(n_assign);
+        for (row, &col) in matched.pairs.iter().enumerate() {
+            let (worker, reported) = reports[col];
+            let task = rows[row];
+            let est = self
+                .interval_dists
+                .get(reported, self.tasks[task.0].interval);
+            assignments.push((task, worker, est));
+        }
+        self.pending.drain(..n_assign);
+        SnapshotOutcome {
+            assignments,
+            unassigned: self.pending.clone(),
+        }
+    }
+
+    /// Checks the drift between the assumed prior's report marginal and
+    /// the observed histogram; if it exceeds the configured threshold,
+    /// re-estimates the prior from the reports (one EM step through the
+    /// current mechanism) and re-solves the mechanism.
+    ///
+    /// Returns whether a refresh happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VlpError`] from the re-solve.
+    pub fn maybe_refresh(&mut self) -> Result<bool, VlpError> {
+        if self.report_total < self.config.refresh_min_reports as f64 {
+            return Ok(false);
+        }
+        let k = self.disc.len();
+        // Expected report marginal under the assumed prior.
+        let mut expected = vec![0.0; k];
+        for i in 0..k {
+            let fp = self.f_p.get(i);
+            if fp > 0.0 {
+                for (j, e) in expected.iter_mut().enumerate() {
+                    *e += fp * self.mechanism.prob(i, j);
+                }
+            }
+        }
+        let tv: f64 = expected
+            .iter()
+            .enumerate()
+            .map(|(j, e)| (e - self.report_counts[j] / self.report_total).abs())
+            .sum::<f64>()
+            / 2.0;
+        if tv <= self.config.refresh_tv_threshold {
+            return Ok(false);
+        }
+        // One EM step: fold the observed reports back through the
+        // posterior to a new prior estimate.
+        let mut new_prior = vec![0.0; k];
+        for (j, &count) in self.report_counts.iter().enumerate() {
+            if count > 0.0 {
+                let post = adversary::posterior(&self.mechanism, &self.f_p, j);
+                for (i, p) in post.iter().enumerate() {
+                    new_prior[i] += count * p;
+                }
+            }
+        }
+        if let Some(p) = Prior::from_weights(&new_prior) {
+            self.f_p = p;
+        }
+        self.report_counts.iter_mut().for_each(|c| *c = 0.0);
+        self.report_total = 0.0;
+        self.resolve_mechanism()?;
+        self.refreshes += 1;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generators;
+
+    fn server() -> Server {
+        let g = generators::grid(2, 2, 0.5, true);
+        Server::bootstrap(
+            g,
+            ServerConfig {
+                delta: 0.25,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bootstrap_produces_feasible_mechanism() {
+        let s = server();
+        assert!(s.mechanism().is_row_stochastic(1e-6));
+        assert_eq!(s.epoch(), 1);
+        assert!(s.quality_loss().is_finite());
+    }
+
+    #[test]
+    fn publish_and_snapshot_assigns_nearest_by_estimate() {
+        let mut s = server();
+        let t = s.publish_task(0);
+        // Two reporting workers: one reports interval 0 (on the task),
+        // one reports the farthest interval.
+        let far = s.disc().len() - 1;
+        let out = s.snapshot(&[(WorkerId(1), far), (WorkerId(2), 0)]);
+        assert_eq!(out.assignments.len(), 1);
+        let (task, worker, est) = out.assignments[0];
+        assert_eq!(task, t);
+        assert_eq!(worker, WorkerId(2));
+        assert_eq!(est, 0.0);
+        assert!(s.pending_tasks().is_empty());
+    }
+
+    #[test]
+    fn snapshot_without_reports_leaves_tasks_pending() {
+        let mut s = server();
+        let t = s.publish_task(1);
+        let out = s.snapshot(&[]);
+        assert!(out.assignments.is_empty());
+        assert_eq!(out.unassigned, vec![t]);
+        assert_eq!(s.pending_tasks(), &[t]);
+    }
+
+    #[test]
+    fn more_tasks_than_workers_assigns_oldest_first() {
+        let mut s = server();
+        let t0 = s.publish_task(0);
+        let _t1 = s.publish_task(1);
+        let out = s.snapshot(&[(WorkerId(0), 2)]);
+        assert_eq!(out.assignments.len(), 1);
+        assert_eq!(out.assignments[0].0, t0);
+        assert_eq!(s.pending_tasks().len(), 1);
+    }
+
+    #[test]
+    fn refresh_fires_on_drifted_reports() {
+        let mut s = server();
+        // Uniform assumed prior, but every report points at interval 0:
+        // drift is large once enough reports accumulate.
+        let reports: Vec<(WorkerId, usize)> = (0..60).map(|w| (WorkerId(w), 0)).collect();
+        let _ = s.snapshot(&reports);
+        let refreshed = s.maybe_refresh().unwrap();
+        assert!(refreshed, "strong drift must trigger a refresh");
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.refreshes(), 1);
+        // The new prior leans towards interval 0.
+        let p = s.assumed_prior();
+        let uniform = 1.0 / s.disc().len() as f64;
+        assert!(p.get(0) > uniform);
+    }
+
+    #[test]
+    fn refresh_does_not_fire_without_enough_reports() {
+        let mut s = server();
+        let _ = s.snapshot(&[(WorkerId(0), 0)]);
+        assert!(!s.maybe_refresh().unwrap());
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn refresh_does_not_fire_on_matching_distribution() {
+        use rand::SeedableRng;
+        let mut s = server();
+        // Feed reports drawn from the model itself (true interval from
+        // the assumed prior, report through the mechanism): observed and
+        // expected marginals then agree up to sampling noise.
+        let mech = s.mechanism().clone();
+        let prior = s.assumed_prior().clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let reports: Vec<(WorkerId, usize)> = (0..2000)
+            .map(|w| {
+                let i = prior.sample(&mut rng);
+                (WorkerId(w), mech.sample_interval(i, &mut rng))
+            })
+            .collect();
+        let _ = s.snapshot(&reports);
+        assert!(
+            !s.maybe_refresh().unwrap(),
+            "model-consistent reports should not drift"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "task interval out of range")]
+    fn publishing_off_map_task_panics() {
+        let mut s = server();
+        s.publish_task(10_000);
+    }
+}

@@ -1,0 +1,292 @@
+//! End-to-end platform simulation: workers drive, report, get
+//! assigned, and complete tasks; the server refreshes the mechanism on
+//! prior drift.
+
+use mobility::{generate_trace, TraceConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::server::Server;
+use crate::worker::{Worker, WorkerId};
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Number of vehicle workers.
+    pub n_workers: usize,
+    /// Kilometres an occupied worker covers per tick.
+    pub drive_km_per_tick: f64,
+    /// Ticks between assignment snapshots.
+    pub snapshot_every: usize,
+    /// Probability per tick that a new task is published (at an
+    /// interval drawn uniformly).
+    pub task_rate: f64,
+    /// Idle-motion configuration for the workers.
+    pub trace: TraceConfig,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            n_workers: 8,
+            drive_km_per_tick: 0.15,
+            snapshot_every: 3,
+            task_rate: 0.6,
+            trace: TraceConfig {
+                reports: 300,
+                ..TraceConfig::default()
+            },
+        }
+    }
+}
+
+/// Aggregated outcome of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimulationReport {
+    /// Tasks published over the run.
+    pub published_tasks: usize,
+    /// Tasks assigned to a worker.
+    pub assigned_tasks: usize,
+    /// Tasks whose worker arrived.
+    pub completed_tasks: usize,
+    /// Sum of *true* travel distances of all assignments, km.
+    pub true_travel_km: f64,
+    /// Sum of the server's *estimated* travel distances, km.
+    pub estimated_travel_km: f64,
+    /// Mechanism refreshes triggered during the run.
+    pub mechanism_refreshes: u64,
+}
+
+impl SimulationReport {
+    /// Mean absolute gap between estimated and true assignment
+    /// distance — the end-to-end realization of the ETDD metric.
+    pub fn mean_estimate_gap(&self) -> f64 {
+        if self.assigned_tasks == 0 {
+            return 0.0;
+        }
+        (self.estimated_travel_km - self.true_travel_km).abs() / self.assigned_tasks as f64
+    }
+}
+
+/// The running simulation: one server plus a fleet of workers.
+#[derive(Debug)]
+pub struct Simulation {
+    server: Server,
+    workers: Vec<Worker>,
+    config: SimulationConfig,
+    rng: StdRng,
+    report: SimulationReport,
+    tick: usize,
+}
+
+impl Simulation {
+    /// Spawns `config.n_workers` workers on the server's map, each with
+    /// its own trace-driven idle motion and a downloaded mechanism.
+    pub fn new(server: Server, config: SimulationConfig, seed: u64) -> Self {
+        let mut workers = Vec::with_capacity(config.n_workers);
+        for w in 0..config.n_workers {
+            let trace = generate_trace(
+                server.graph(),
+                &config.trace,
+                seed.wrapping_mul(31).wrapping_add(w as u64),
+            );
+            workers.push(Worker::new(
+                WorkerId(w),
+                trace.locations,
+                server.mechanism().clone(),
+                server.epoch(),
+            ));
+        }
+        Self {
+            server,
+            workers,
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0xD1CE),
+            report: SimulationReport::default(),
+            tick: 0,
+        }
+    }
+
+    /// Runs `ticks` simulation steps and returns the accumulated
+    /// report.
+    pub fn run(&mut self, ticks: usize) -> SimulationReport {
+        for _ in 0..ticks {
+            self.step();
+        }
+        self.report.mechanism_refreshes = self.server.refreshes();
+        self.report.clone()
+    }
+
+    /// Advances the world by one tick.
+    pub fn step(&mut self) {
+        self.tick += 1;
+        // Task arrivals.
+        if self.rng.random_range(0.0..1.0) < self.config.task_rate {
+            let k = self.server.disc().len();
+            let interval = self.rng.random_range(0..k);
+            self.server.publish_task(interval);
+            self.report.published_tasks += 1;
+        }
+        // Worker motion and completions.
+        for w in &mut self.workers {
+            if w.tick(self.config.drive_km_per_tick).is_some() {
+                self.report.completed_tasks += 1;
+            }
+        }
+        // Snapshot assignment.
+        if self.tick.is_multiple_of(self.config.snapshot_every) {
+            self.snapshot();
+        }
+    }
+
+    fn snapshot(&mut self) {
+        let graph = self.server.graph().clone();
+        let disc = self.server.disc().clone();
+        let mut reports = Vec::new();
+        for w in &self.workers {
+            if let Some(j) = w.report(&graph, &disc, &mut self.rng) {
+                reports.push((w.id(), j));
+            }
+        }
+        let outcome = self.server.snapshot(&reports);
+        for (task, worker, est) in outcome.assignments {
+            let t = self.server.task(task);
+            let widx = worker.0;
+            let true_iv = disc
+                .locate(&graph, self.workers[widx].true_location())
+                .expect("worker stays on the map");
+            let true_km = self.server.interval_dists().get(true_iv, t.interval);
+            self.workers[widx].assign(task, true_km);
+            self.report.assigned_tasks += 1;
+            self.report.true_travel_km += true_km;
+            self.report.estimated_travel_km += est;
+        }
+        // Prior-drift check; workers re-download on refresh.
+        if self.server.maybe_refresh().unwrap_or(false) {
+            let mech = self.server.mechanism().clone();
+            let epoch = self.server.epoch();
+            for w in &mut self.workers {
+                w.download_mechanism(mech.clone(), epoch);
+            }
+        }
+    }
+
+    /// The server, for inspection.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// The workers, for inspection.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use roadnet::generators;
+
+    fn sim() -> Simulation {
+        let g = generators::grid(3, 3, 0.4, true);
+        let server = Server::bootstrap(
+            g,
+            ServerConfig {
+                delta: 0.2,
+                refresh_min_reports: 10_000,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        Simulation::new(
+            server,
+            SimulationConfig {
+                n_workers: 5,
+                ..SimulationConfig::default()
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn simulation_completes_tasks() {
+        let mut s = sim();
+        let report = s.run(60);
+        assert!(report.published_tasks > 0);
+        assert!(report.assigned_tasks > 0);
+        assert!(report.completed_tasks > 0);
+        assert!(report.completed_tasks <= report.assigned_tasks);
+        assert!(report.true_travel_km >= 0.0);
+    }
+
+    #[test]
+    fn estimates_track_truth_loosely() {
+        let mut s = sim();
+        let report = s.run(80);
+        // The mechanism is Geo-I-constrained, so estimates are noisy but
+        // bounded by the map scale per assignment.
+        assert!(
+            report.mean_estimate_gap() < 3.0,
+            "gap {}",
+            report.mean_estimate_gap()
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let mk = || {
+            let server = Server::bootstrap(
+                g.clone(),
+                ServerConfig {
+                    delta: 0.2,
+                    refresh_min_reports: 10_000,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            Simulation::new(
+                server,
+                SimulationConfig {
+                    n_workers: 4,
+                    ..SimulationConfig::default()
+                },
+                11,
+            )
+            .run(40)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn refresh_propagates_to_workers() {
+        let g = generators::grid(2, 2, 0.5, true);
+        let server = Server::bootstrap(
+            g,
+            ServerConfig {
+                delta: 0.25,
+                refresh_min_reports: 5,
+                refresh_tv_threshold: 0.05,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut sim = Simulation::new(
+            server,
+            SimulationConfig {
+                n_workers: 6,
+                snapshot_every: 1,
+                ..SimulationConfig::default()
+            },
+            21,
+        );
+        let report = sim.run(60);
+        if report.mechanism_refreshes > 0 {
+            let epoch = sim.server().epoch();
+            for w in sim.workers() {
+                assert_eq!(w.mechanism_epoch(), epoch, "worker missed a refresh");
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The worker side of the framework (§2): status lifecycle and
+//! obfuscated reporting.
+
+use rand::RngExt;
+use roadnet::{Location, RoadGraph};
+use vlp_core::{Discretization, Mechanism};
+
+use crate::TaskId;
+
+/// Identifier of a registered worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub usize);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker{}", self.0)
+    }
+}
+
+/// The worker's status per §2: only `Available` workers are candidates
+/// for assignment and report locations; an assigned worker is
+/// `Occupied` until the task completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerStatus {
+    /// Ready for assignment; reports obfuscated locations.
+    Available,
+    /// Heading to (or working on) a task; silent until done.
+    Occupied {
+        /// The assigned task.
+        task: TaskId,
+        /// Remaining travel distance to the task location, km.
+        remaining_km: f64,
+    },
+    /// Off-shift: not a candidate and not reporting.
+    Unavailable,
+}
+
+/// One vehicle worker: true position (never shared), motion along a
+/// pre-generated trace while available, and the downloaded obfuscation
+/// mechanism.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    id: WorkerId,
+    status: WorkerStatus,
+    /// The idle-motion trajectory; `cursor` indexes the current point.
+    route: Vec<Location>,
+    cursor: usize,
+    /// The obfuscation function downloaded from the server.
+    mechanism: Mechanism,
+    /// Epoch of the downloaded mechanism (for refresh bookkeeping).
+    mechanism_epoch: u64,
+}
+
+impl Worker {
+    /// Creates an available worker that moves along `route` while idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty.
+    pub fn new(id: WorkerId, route: Vec<Location>, mechanism: Mechanism, epoch: u64) -> Self {
+        assert!(!route.is_empty(), "worker needs at least one route point");
+        Self {
+            id,
+            status: WorkerStatus::Available,
+            route,
+            cursor: 0,
+            mechanism,
+            mechanism_epoch: epoch,
+        }
+    }
+
+    /// This worker's identifier.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Current status.
+    pub fn status(&self) -> WorkerStatus {
+        self.status
+    }
+
+    /// The worker's true location (private — the platform simulation
+    /// uses it only to measure ground-truth outcomes).
+    pub fn true_location(&self) -> Location {
+        self.route[self.cursor]
+    }
+
+    /// Epoch of the mechanism this worker currently holds.
+    pub fn mechanism_epoch(&self) -> u64 {
+        self.mechanism_epoch
+    }
+
+    /// Downloads a fresh obfuscation function from the server (§2's
+    /// "downloaded by the worker" step).
+    pub fn download_mechanism(&mut self, mechanism: Mechanism, epoch: u64) {
+        self.mechanism = mechanism;
+        self.mechanism_epoch = epoch;
+    }
+
+    /// Produces the obfuscated report for the current location, or
+    /// `None` when the worker is not available (occupied or off-shift
+    /// workers do not report, per §2).
+    pub fn report<R: RngExt + ?Sized>(
+        &self,
+        graph: &RoadGraph,
+        disc: &Discretization,
+        rng: &mut R,
+    ) -> Option<usize> {
+        if self.status != WorkerStatus::Available {
+            return None;
+        }
+        let i = disc.locate(graph, self.true_location())?;
+        Some(self.mechanism.sample_interval(i, rng))
+    }
+
+    /// Accepts an assignment: switches to `Occupied` with the true
+    /// travel distance to the task (§2: the worker "will head towards
+    /// the assigned task location instantly").
+    pub fn assign(&mut self, task: TaskId, travel_km: f64) {
+        self.status = WorkerStatus::Occupied {
+            task,
+            remaining_km: travel_km.max(0.0),
+        };
+    }
+
+    /// Advances the worker by one tick: available workers move along
+    /// their idle route; occupied workers burn down their remaining
+    /// travel distance and return `Some(task)` when they arrive.
+    pub fn tick(&mut self, drive_km: f64) -> Option<TaskId> {
+        match self.status {
+            WorkerStatus::Available => {
+                self.cursor = (self.cursor + 1) % self.route.len();
+                None
+            }
+            WorkerStatus::Occupied { task, remaining_km } => {
+                let left = remaining_km - drive_km;
+                if left <= 0.0 {
+                    self.status = WorkerStatus::Available;
+                    Some(task)
+                } else {
+                    self.status = WorkerStatus::Occupied {
+                        task,
+                        remaining_km: left,
+                    };
+                    None
+                }
+            }
+            WorkerStatus::Unavailable => None,
+        }
+    }
+
+    /// Takes the worker off shift.
+    pub fn go_off_shift(&mut self) {
+        self.status = WorkerStatus::Unavailable;
+    }
+
+    /// Brings the worker back on shift.
+    pub fn go_on_shift(&mut self) {
+        if self.status == WorkerStatus::Unavailable {
+            self.status = WorkerStatus::Available;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use roadnet::generators;
+
+    fn setup() -> (RoadGraph, Discretization, Worker) {
+        let g = generators::grid(2, 2, 0.5, true);
+        let disc = Discretization::new(&g, 0.25);
+        let k = disc.len();
+        let route: Vec<Location> = (0..4).map(|i| disc.interval(i).midpoint()).collect();
+        let w = Worker::new(WorkerId(0), route, Mechanism::identity(k), 1);
+        (g, disc, w)
+    }
+
+    #[test]
+    fn available_worker_reports_truth_under_identity() {
+        let (g, disc, w) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = w.report(&g, &disc, &mut rng).unwrap();
+        assert_eq!(r, disc.locate(&g, w.true_location()).unwrap());
+    }
+
+    #[test]
+    fn occupied_worker_is_silent_and_completes() {
+        let (g, disc, mut w) = setup();
+        w.assign(TaskId(9), 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(w.report(&g, &disc, &mut rng).is_none());
+        assert_eq!(w.tick(0.3), None);
+        assert_eq!(w.tick(0.3), Some(TaskId(9)));
+        assert_eq!(w.status(), WorkerStatus::Available);
+    }
+
+    #[test]
+    fn idle_worker_advances_route_cyclically() {
+        let (_, _, mut w) = setup();
+        let first = w.true_location();
+        for _ in 0..4 {
+            w.tick(0.1);
+        }
+        assert_eq!(w.true_location(), first);
+    }
+
+    #[test]
+    fn off_shift_worker_neither_reports_nor_moves() {
+        let (g, disc, mut w) = setup();
+        w.go_off_shift();
+        let loc = w.true_location();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(w.report(&g, &disc, &mut rng).is_none());
+        w.tick(1.0);
+        assert_eq!(w.true_location(), loc);
+        w.go_on_shift();
+        assert_eq!(w.status(), WorkerStatus::Available);
+    }
+
+    #[test]
+    fn mechanism_download_bumps_epoch() {
+        let (_, _, mut w) = setup();
+        assert_eq!(w.mechanism_epoch(), 1);
+        w.download_mechanism(Mechanism::uniform(8), 2);
+        assert_eq!(w.mechanism_epoch(), 2);
+    }
+}

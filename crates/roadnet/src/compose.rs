@@ -1,0 +1,182 @@
+//! Map composition: translate, merge, and connect road graphs.
+//!
+//! Real study areas are rarely one homogeneous fabric — the paper's
+//! pilot town contains a rural west and a gridded downtown. This module
+//! builds such maps from generator output: [`translate`] repositions a
+//! map, [`merge`] disjointly unions two maps, and [`connect`] adds a
+//! two-way road between a node of each part.
+
+use crate::graph::{NodeId, RoadGraph, RoadGraphBuilder};
+use crate::GraphError;
+
+/// Returns a copy of `graph` with all coordinates shifted by
+/// `(dx, dy)` kilometres. Topology and lengths are unchanged.
+pub fn translate(graph: &RoadGraph, dx: f64, dy: f64) -> RoadGraph {
+    let mut b = RoadGraphBuilder::new();
+    for v in graph.nodes() {
+        b.add_node(v.x + dx, v.y + dy);
+    }
+    for e in graph.edges() {
+        b.add_edge(e.start(), e.end(), e.length())
+            .expect("copying a valid edge");
+    }
+    b.build().expect("non-empty copy")
+}
+
+/// Disjoint union of two maps: `b`'s node ids are offset by
+/// `a.node_count()`. Returns the merged graph and the id offset (add it
+/// to a node id from `b` to address the same node in the result).
+pub fn merge(a: &RoadGraph, b: &RoadGraph) -> (RoadGraph, usize) {
+    let offset = a.node_count();
+    let mut out = RoadGraphBuilder::new();
+    for v in a.nodes() {
+        out.add_node(v.x, v.y);
+    }
+    for v in b.nodes() {
+        out.add_node(v.x, v.y);
+    }
+    for e in a.edges() {
+        out.add_edge(e.start(), e.end(), e.length())
+            .expect("valid edge from a");
+    }
+    for e in b.edges() {
+        out.add_edge(
+            NodeId(e.start().index() + offset),
+            NodeId(e.end().index() + offset),
+            e.length(),
+        )
+        .expect("valid edge from b");
+    }
+    (out.build().expect("non-empty merge"), offset)
+}
+
+/// Adds a two-way connector road between two existing nodes and returns
+/// the new graph. `length` defaults to the Euclidean distance between
+/// the nodes when `None` (with a 15 % meander factor).
+///
+/// # Errors
+///
+/// [`GraphError::UnknownNode`] if either node id is out of range;
+/// [`GraphError::SelfLoop`] if they coincide.
+pub fn connect(
+    graph: &RoadGraph,
+    a: NodeId,
+    b: NodeId,
+    length: Option<f64>,
+) -> Result<RoadGraph, GraphError> {
+    if a.index() >= graph.node_count() {
+        return Err(GraphError::UnknownNode(a));
+    }
+    if b.index() >= graph.node_count() {
+        return Err(GraphError::UnknownNode(b));
+    }
+    if a == b {
+        return Err(GraphError::SelfLoop(a));
+    }
+    let mut out = RoadGraphBuilder::new();
+    for v in graph.nodes() {
+        out.add_node(v.x, v.y);
+    }
+    for e in graph.edges() {
+        out.add_edge(e.start(), e.end(), e.length())
+            .expect("valid edge copy");
+    }
+    let len = match length {
+        Some(l) => l,
+        None => graph.node(a).euclidean(graph.node(b)) * 1.15,
+    };
+    out.add_two_way(a, b, len)?;
+    Ok(out.build().expect("non-empty graph"))
+}
+
+/// Convenience: place `west` and `east` side by side (`east` shifted
+/// right so the maps do not overlap, plus `gap` km) and join them with
+/// a two-way connector between their mutually nearest nodes.
+pub fn town(west: &RoadGraph, east: &RoadGraph, gap: f64) -> RoadGraph {
+    let west_max_x = west
+        .nodes()
+        .iter()
+        .map(|v| v.x)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let east_min_x = east
+        .nodes()
+        .iter()
+        .map(|v| v.x)
+        .fold(f64::INFINITY, f64::min);
+    let shifted = translate(east, west_max_x - east_min_x + gap, 0.0);
+    let (merged, offset) = merge(west, &shifted);
+    // Nearest pair across the seam.
+    let mut best = (NodeId(0), NodeId(offset), f64::INFINITY);
+    for v in &merged.nodes()[..offset] {
+        for w in &merged.nodes()[offset..] {
+            let d = v.euclidean(w);
+            if d < best.2 {
+                best = (v.id(), w.id(), d);
+            }
+        }
+    }
+    connect(&merged, best.0, best.1, None).expect("nearest pair is a valid connector")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn translate_moves_coordinates_only() {
+        let g = generators::grid(2, 2, 0.5, true);
+        let t = translate(&g, 3.0, -1.0);
+        assert_eq!(t.edge_count(), g.edge_count());
+        assert!((t.nodes()[0].x - 3.0).abs() < 1e-12);
+        assert!((t.nodes()[0].y + 1.0).abs() < 1e-12);
+        assert!((t.total_length() - g.total_length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_disjoint() {
+        let a = generators::grid(2, 2, 0.5, true);
+        let b = generators::grid(3, 2, 0.4, true);
+        let (m, off) = merge(&a, &b);
+        assert_eq!(off, a.node_count());
+        assert_eq!(m.node_count(), a.node_count() + b.node_count());
+        assert_eq!(m.edge_count(), a.edge_count() + b.edge_count());
+        // Without a connector the union is not strongly connected.
+        assert!(!m.is_strongly_connected());
+    }
+
+    #[test]
+    fn connect_restores_strong_connectivity() {
+        let a = generators::grid(2, 2, 0.5, true);
+        let b = generators::grid(2, 2, 0.5, true);
+        let (m, off) = merge(&a, &translate(&b, 2.0, 0.0));
+        let joined = connect(&m, NodeId(1), NodeId(off), None).unwrap();
+        assert!(joined.is_strongly_connected());
+        assert_eq!(joined.edge_count(), m.edge_count() + 2);
+    }
+
+    #[test]
+    fn connect_rejects_bad_nodes() {
+        let g = generators::grid(2, 2, 0.5, true);
+        assert!(matches!(
+            connect(&g, NodeId(0), NodeId(99), None),
+            Err(GraphError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            connect(&g, NodeId(1), NodeId(1), None),
+            Err(GraphError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn town_builds_a_connected_two_district_map() {
+        let west = generators::rural(6, 1.0, 3);
+        let east = generators::downtown(4, 4, 0.25);
+        let t = town(&west, &east, 0.5);
+        assert!(t.is_strongly_connected());
+        assert_eq!(t.node_count(), west.node_count() + east.node_count());
+        // Mixed one-way share: strictly between the two parts' shares.
+        let f = t.one_way_fraction();
+        assert!(f > 0.0 && f < east.one_way_fraction());
+    }
+}

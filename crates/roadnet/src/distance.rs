@@ -1,0 +1,191 @@
+//! Travel distances between on-edge locations (§3.1, Eq. 1 and 8–11).
+//!
+//! The directed travel distance `d_G(p, q)` splits into two cases:
+//!
+//! * **C1** — `p` and `q` are on different segments, or on the same
+//!   segment with `p` *not* behind `q`: the vehicle must first reach the
+//!   end of its own segment, drive node-to-node to the start of `q`'s
+//!   segment, then cover `q`'s segment up to `q` (Eq. 9);
+//! * **C2** — same segment and `p` behind `q` (`x_p ≥ x_q`): the vehicle
+//!   drives straight down the segment (Eq. 10).
+
+use crate::graph::RoadGraph;
+use crate::location::Location;
+use crate::shortest_path::NodeDistances;
+
+/// Directed shortest traveling distance `d_G(p, q)` from `p` to `q`.
+///
+/// Requires the all-pairs node distances of the same graph. Returns
+/// `f64::INFINITY` when `q` is unreachable from `p`.
+///
+/// # Example
+///
+/// ```
+/// use roadnet::{generators, distance, Location, NodeDistances};
+///
+/// let g = generators::grid(2, 2, 1.0, true);
+/// let d = NodeDistances::all_pairs(&g);
+/// let p = Location::new(g.edges()[0].id(), 0.5);
+/// assert_eq!(distance::travel_distance(&g, &d, p, p), 0.0);
+/// ```
+pub fn travel_distance(graph: &RoadGraph, dists: &NodeDistances, p: Location, q: Location) -> f64 {
+    if p.edge() == q.edge() && p.to_end() >= q.to_end() {
+        // C2: p is behind q on the same directed segment (Eq. 10).
+        return p.to_end() - q.to_end();
+    }
+    // C1 (Eq. 9): p -> end of e(p) -> start of e(q) -> q.
+    let ep = graph.edge(p.edge());
+    let eq = graph.edge(q.edge());
+    let mid = dists.get(ep.end(), eq.start());
+    if !mid.is_finite() {
+        return f64::INFINITY;
+    }
+    p.to_end() + mid + (eq.length() - q.to_end())
+}
+
+/// Bidirectional shortest traveling distance
+/// `d_G^min(p, q) = min{d_G(p, q), d_G(q, p)}` (Eq. 1) — the measure the
+/// paper's Geo-I definition uses to compare locations.
+pub fn travel_distance_min(
+    graph: &RoadGraph,
+    dists: &NodeDistances,
+    p: Location,
+    q: Location,
+) -> f64 {
+    travel_distance(graph, dists, p, q).min(travel_distance(graph, dists, q, p))
+}
+
+/// Estimated traveling-distance distortion
+/// `Δd_G(p, p̃; q) = |d_G(p, q) − d_G(p̃, q)|` (Eq. 8) — the per-task
+/// quality loss incurred by reporting `p̃` instead of `p`.
+///
+/// Infinite inputs are propagated: if either distance is infinite the
+/// distortion is infinite (obfuscating onto an unreachable segment is
+/// maximally damaging).
+pub fn distortion(
+    graph: &RoadGraph,
+    dists: &NodeDistances,
+    p: Location,
+    p_tilde: Location,
+    q: Location,
+) -> f64 {
+    let d_true = travel_distance(graph, dists, p, q);
+    let d_obf = travel_distance(graph, dists, p_tilde, q);
+    if !d_true.is_finite() || !d_obf.is_finite() {
+        return f64::INFINITY;
+    }
+    (d_true - d_obf).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeId, RoadGraphBuilder};
+
+    /// Two-node, two-edge loop: e0 = v0->v1 (len 2), e1 = v1->v0 (len 3).
+    fn loop2() -> (RoadGraph, NodeDistances) {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(2.0, 0.0);
+        b.add_edge(v0, v1, 2.0).unwrap();
+        b.add_edge(v1, v0, 3.0).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeDistances::all_pairs(&g);
+        (g, d)
+    }
+
+    #[test]
+    fn same_edge_behind_is_direct() {
+        let (g, d) = loop2();
+        // p at x=1.5 (0.5 km along e0), q at x=0.5 (1.5 km along e0).
+        let p = Location::new(EdgeId(0), 1.5);
+        let q = Location::new(EdgeId(0), 0.5);
+        assert!((travel_distance(&g, &d, p, q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_edge_ahead_must_loop() {
+        let (g, d) = loop2();
+        let p = Location::new(EdgeId(0), 0.5);
+        let q = Location::new(EdgeId(0), 1.5);
+        // p -> v1 (0.5) -> v0 via e1 (3.0) -> q (2.0 - 1.5 = 0.5): 4.0.
+        assert!((travel_distance(&g, &d, p, q) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_edge_uses_node_distance() {
+        let (g, d) = loop2();
+        let p = Location::new(EdgeId(0), 0.5);
+        let q = Location::new(EdgeId(1), 1.0);
+        // p -> v1 (0.5), v1 is start of e1 (0.0), then 3.0 - 1.0 = 2.0.
+        assert!((travel_distance(&g, &d, p, q) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let (g, d) = loop2();
+        let p = Location::new(EdgeId(0), 0.7);
+        assert_eq!(travel_distance(&g, &d, p, p), 0.0);
+    }
+
+    #[test]
+    fn min_distance_picks_shorter_direction() {
+        let (g, d) = loop2();
+        let p = Location::new(EdgeId(0), 1.5);
+        let q = Location::new(EdgeId(0), 0.5);
+        // Forward p->q = 1.0; backward q->p = 0.5 + 3.0 + 0.5 = 4.0.
+        assert!((travel_distance_min(&g, &d, p, q) - 1.0).abs() < 1e-12);
+        // d_min is symmetric.
+        assert_eq!(
+            travel_distance_min(&g, &d, p, q),
+            travel_distance_min(&g, &d, q, p)
+        );
+    }
+
+    #[test]
+    fn distortion_matches_definition() {
+        let (g, d) = loop2();
+        let p = Location::new(EdgeId(0), 1.5);
+        let pt = Location::new(EdgeId(0), 0.5);
+        let q = Location::new(EdgeId(1), 1.5);
+        let want = (travel_distance(&g, &d, p, q) - travel_distance(&g, &d, pt, q)).abs();
+        assert_eq!(distortion(&g, &d, p, pt, q), want);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        let v2 = b.add_node(2.0, 0.0);
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v0, 1.0).unwrap();
+        b.add_edge(v1, v2, 1.0).unwrap(); // v2 is a sink
+        let g = b.build().unwrap();
+        let d = NodeDistances::all_pairs(&g);
+        let p = Location::new(EdgeId(2), 0.2); // on the sink edge
+        let q = Location::new(EdgeId(0), 0.5);
+        assert!(travel_distance(&g, &d, p, q).is_infinite());
+        assert!(distortion(&g, &d, q, p, q).is_infinite());
+    }
+
+    #[test]
+    fn triangle_inequality_on_loop() {
+        let (g, d) = loop2();
+        let pts = [
+            Location::new(EdgeId(0), 0.4),
+            Location::new(EdgeId(0), 1.8),
+            Location::new(EdgeId(1), 0.9),
+            Location::new(EdgeId(1), 2.4),
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    let direct = travel_distance(&g, &d, a, c);
+                    let via = travel_distance(&g, &d, a, b) + travel_distance(&g, &d, b, c);
+                    assert!(direct <= via + 1e-9, "triangle violated: {direct} > {via}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for road-graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Error produced while building or validating a [`crate::RoadGraph`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a node id that has not been added.
+    UnknownNode(NodeId),
+    /// An edge length was zero, negative, or non-finite.
+    NonPositiveLength {
+        /// Starting connection of the offending edge.
+        start: NodeId,
+        /// Ending connection of the offending edge.
+        end: NodeId,
+        /// The rejected length.
+        length: f64,
+    },
+    /// An edge started and ended at the same connection.
+    SelfLoop(NodeId),
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "edge references unknown node {v}"),
+            GraphError::NonPositiveLength { start, end, length } => write!(
+                f,
+                "edge {start}->{end} has non-positive or non-finite length {length}"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::Empty => write!(f, "road graph must contain at least one node"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<GraphError> = vec![
+            GraphError::UnknownNode(NodeId(3)),
+            GraphError::NonPositiveLength {
+                start: NodeId(0),
+                end: NodeId(1),
+                length: -2.0,
+            },
+            GraphError::SelfLoop(NodeId(5)),
+            GraphError::Empty,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

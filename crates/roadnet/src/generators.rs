@@ -1,0 +1,408 @@
+//! Synthetic road-map generators.
+//!
+//! The paper evaluates on two real maps: Rome (trace-driven simulation,
+//! §5.1) and Glassboro, NJ (pilot study, §5.2, with a sparse rural Region
+//! A and a dense one-way-heavy downtown Region B). Those maps are not
+//! redistributable, so this module generates synthetic maps that
+//! reproduce the *topological contrasts* the experiments depend on:
+//! segment density, one-way share, and a downtown-skewed structure.
+//!
+//! Every generator returns a strongly connected [`RoadGraph`] (verified
+//! by debug assertions), so travel distances are finite everywhere.
+
+// Dense numeric kernels below index several parallel arrays in one
+// loop; iterator rewrites would obscure the linear-algebra intent.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{NodeId, RoadGraph, RoadGraphBuilder};
+
+/// Rectangular grid of `nx × ny` connections spaced `spacing` km apart.
+///
+/// With `two_way = true` every street is bidirectional. With
+/// `two_way = false` interior rows and columns alternate direction
+/// (Manhattan style) while the perimeter stays two-way so the map
+/// remains strongly connected.
+///
+/// # Panics
+///
+/// Panics if `nx < 2`, `ny < 2`, or `spacing` is not positive.
+pub fn grid(nx: usize, ny: usize, spacing: f64, two_way: bool) -> RoadGraph {
+    assert!(nx >= 2 && ny >= 2, "grid needs at least 2x2 connections");
+    assert!(spacing > 0.0, "spacing must be positive");
+    let mut b = RoadGraphBuilder::new();
+    let mut ids = vec![vec![NodeId(0); nx]; ny];
+    for (j, row) in ids.iter_mut().enumerate() {
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = b.add_node(i as f64 * spacing, j as f64 * spacing);
+        }
+    }
+    // Horizontal streets.
+    for j in 0..ny {
+        let boundary = j == 0 || j == ny - 1;
+        for i in 0..nx - 1 {
+            let (a, c) = (ids[j][i], ids[j][i + 1]);
+            if two_way || boundary {
+                b.add_two_way(a, c, spacing).expect("valid grid edge");
+            } else if j % 2 == 0 {
+                b.add_edge(a, c, spacing).expect("valid grid edge");
+            } else {
+                b.add_edge(c, a, spacing).expect("valid grid edge");
+            }
+        }
+    }
+    // Vertical streets.
+    for i in 0..nx {
+        let boundary = i == 0 || i == nx - 1;
+        for j in 0..ny - 1 {
+            let (a, c) = (ids[j][i], ids[j + 1][i]);
+            if two_way || boundary {
+                b.add_two_way(a, c, spacing).expect("valid grid edge");
+            } else if i % 2 == 0 {
+                b.add_edge(a, c, spacing).expect("valid grid edge");
+            } else {
+                b.add_edge(c, a, spacing).expect("valid grid edge");
+            }
+        }
+    }
+    let g = b.build().expect("grid is non-empty");
+    debug_assert!(g.is_strongly_connected());
+    g
+}
+
+/// Dense downtown map: a one-way-heavy Manhattan grid.
+///
+/// Matches the paper's Region B (Glassboro downtown): "road segments are
+/// densely distributed, with more one-way streets".
+pub fn downtown(nx: usize, ny: usize, spacing: f64) -> RoadGraph {
+    grid(nx, ny, spacing, false)
+}
+
+/// Sparse rural map: randomly scattered connections joined by a
+/// two-way spanning tree plus a few shortcut roads.
+///
+/// Matches the paper's Region A: "road segments are sparsely
+/// distributed, with less one-way streets" (this generator produces
+/// none).
+///
+/// `n` is the number of connections, `extent` the side length of the
+/// square region in km, and `seed` makes the map reproducible.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `extent` is not positive.
+pub fn rural(n: usize, extent: f64, seed: u64) -> RoadGraph {
+    assert!(n >= 2, "rural map needs at least 2 connections");
+    assert!(extent > 0.0, "extent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = RoadGraphBuilder::new();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..extent), rng.random_range(0.0..extent)))
+        .collect();
+    let ids: Vec<NodeId> = pts.iter().map(|&(x, y)| b.add_node(x, y)).collect();
+    let dist = |a: usize, c: usize| -> f64 {
+        let (ax, ay) = pts[a];
+        let (cx, cy) = pts[c];
+        ((ax - cx).powi(2) + (ay - cy).powi(2)).sqrt()
+    };
+    // Prim-style nearest-neighbour spanning tree: country roads tend to
+    // connect each settlement to its closest already-connected one.
+    let mut in_tree = vec![false; n];
+    in_tree[0] = true;
+    let mut roads: Vec<(usize, usize)> = Vec::new();
+    for _ in 1..n {
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for a in 0..n {
+            if !in_tree[a] {
+                continue;
+            }
+            for c in 0..n {
+                if in_tree[c] {
+                    continue;
+                }
+                let d = dist(a, c);
+                if d < best.0 {
+                    best = (d, a, c);
+                }
+            }
+        }
+        in_tree[best.2] = true;
+        roads.push((best.1, best.2));
+    }
+    // A few shortcuts (~15% of n) between random close-ish pairs.
+    let shortcuts = (n / 7).max(1);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < shortcuts && attempts < 50 * shortcuts {
+        attempts += 1;
+        let a = rng.random_range(0..n);
+        let c = rng.random_range(0..n);
+        if a == c || roads.contains(&(a, c)) || roads.contains(&(c, a)) {
+            continue;
+        }
+        roads.push((a, c));
+        added += 1;
+    }
+    for (a, c) in roads {
+        // Rural roads meander: 10–30% longer than the crow flies.
+        let wiggle = 1.0 + rng.random_range(0.1..0.3);
+        b.add_two_way(ids[a], ids[c], dist(a, c) * wiggle)
+            .expect("valid rural edge");
+    }
+    let g = b.build().expect("rural map is non-empty");
+    debug_assert!(g.is_strongly_connected());
+    g
+}
+
+/// Rome-like map: concentric ring roads joined by radial avenues, with
+/// a dense historic centre and sparse suburbs.
+///
+/// The innermost ring is one-way (circulation around a historic centre),
+/// outer rings and radials are two-way. Ring `k` (0-based, `rings`
+/// total) sits at radius `(k + 1) * ring_gap` km and every ring carries
+/// `spokes` connections, so areal connection density falls off as `1/r`
+/// with distance from the centre — mirroring the heat map of Fig. 9
+/// where "taxi cabs are more likely located in downtown than in the
+/// suburbs".
+///
+/// # Panics
+///
+/// Panics if `rings == 0`, `spokes < 3`, or `ring_gap` is not positive.
+pub fn rome_like(rings: usize, spokes: usize, ring_gap: f64, seed: u64) -> RoadGraph {
+    assert!(rings >= 1, "need at least one ring");
+    assert!(spokes >= 3, "need at least three spokes");
+    assert!(ring_gap > 0.0, "ring gap must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = RoadGraphBuilder::new();
+    let centre = b.add_node(0.0, 0.0);
+    let mut ring_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(rings);
+    for k in 0..rings {
+        let radius = (k + 1) as f64 * ring_gap;
+        let count = spokes;
+        let _ = k;
+        let mut nodes = Vec::with_capacity(count);
+        for s in 0..count {
+            let jitter = rng.random_range(-0.05..0.05) * ring_gap;
+            let theta = 2.0 * std::f64::consts::PI * s as f64 / count as f64;
+            nodes.push(b.add_node(
+                (radius + jitter) * theta.cos(),
+                (radius + jitter) * theta.sin(),
+            ));
+        }
+        ring_nodes.push(nodes);
+    }
+    // Ring roads: arc length between consecutive nodes.
+    for (k, nodes) in ring_nodes.iter().enumerate() {
+        let radius = (k + 1) as f64 * ring_gap;
+        let count = nodes.len();
+        let arc = 2.0 * std::f64::consts::PI * radius / count as f64;
+        for s in 0..count {
+            let a = nodes[s];
+            let c = nodes[(s + 1) % count];
+            if k == 0 {
+                // One-way circulation on the inner ring.
+                b.add_edge(a, c, arc).expect("valid ring edge");
+            } else {
+                b.add_two_way(a, c, arc).expect("valid ring edge");
+            }
+        }
+    }
+    // Radials: centre to inner ring, then ring k to ring k+1 at matching
+    // angles (every node of ring k has a counterpart on ring k+1 at
+    // index s * (k+2) / (k+1) rounded).
+    for &v in &ring_nodes[0] {
+        b.add_two_way(centre, v, ring_gap).expect("valid radial");
+    }
+    for k in 0..rings - 1 {
+        let inner = &ring_nodes[k];
+        let outer = &ring_nodes[k + 1];
+        for (s, &v) in inner.iter().enumerate() {
+            let t = s * outer.len() / inner.len();
+            // Radial roads wander slightly.
+            let len = ring_gap * (1.0 + rng.random_range(0.0..0.15));
+            b.add_two_way(v, outer[t], len).expect("valid radial");
+        }
+    }
+    let g = b.build().expect("rome-like map is non-empty");
+    debug_assert!(g.is_strongly_connected());
+    g
+}
+
+/// Irregular Manhattan downtown: every street is one-way with
+/// alternating directions, and block sizes vary (jittered street
+/// coordinates), so parallel detours are never the same length.
+///
+/// This is the topology regime where travel distance is most sensitive
+/// to obfuscation — reporting one block over forces a loop whose length
+/// differs from the displacement. If the alternating pattern fails to
+/// be strongly connected for the given dimensions, the outer ring is
+/// upgraded to two-way as a fallback.
+///
+/// # Panics
+///
+/// Panics if `nx < 3`, `ny < 3`, or `spacing` is not positive.
+pub fn manhattan_irregular(nx: usize, ny: usize, spacing: f64, seed: u64) -> RoadGraph {
+    assert!(
+        nx >= 3 && ny >= 3,
+        "manhattan grid needs at least 3x3 connections"
+    );
+    assert!(spacing > 0.0, "spacing must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Jittered street coordinates (monotone, ±30% block variation).
+    let coords = |n: usize, rng: &mut StdRng| -> Vec<f64> {
+        let mut v = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        v.push(0.0);
+        for _ in 1..n {
+            acc += spacing * rng.random_range(0.7..1.3);
+            v.push(acc);
+        }
+        v
+    };
+    let xs = coords(nx, &mut rng);
+    let ys = coords(ny, &mut rng);
+    let build = |two_way_ring: bool| -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let mut ids = vec![vec![NodeId(0); nx]; ny];
+        for (j, row) in ids.iter_mut().enumerate() {
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = b.add_node(xs[i], ys[j]);
+            }
+        }
+        for j in 0..ny {
+            for i in 0..nx - 1 {
+                let (a, c) = (ids[j][i], ids[j][i + 1]);
+                let len = xs[i + 1] - xs[i];
+                let ring = two_way_ring && (j == 0 || j == ny - 1);
+                if ring {
+                    b.add_two_way(a, c, len).expect("valid street");
+                } else if j % 2 == 0 {
+                    b.add_edge(a, c, len).expect("valid street");
+                } else {
+                    b.add_edge(c, a, len).expect("valid street");
+                }
+            }
+        }
+        for i in 0..nx {
+            for j in 0..ny - 1 {
+                let (a, c) = (ids[j][i], ids[j + 1][i]);
+                let len = ys[j + 1] - ys[j];
+                let ring = two_way_ring && (i == 0 || i == nx - 1);
+                if ring {
+                    b.add_two_way(a, c, len).expect("valid street");
+                } else if i % 2 == 0 {
+                    b.add_edge(a, c, len).expect("valid street");
+                } else {
+                    b.add_edge(c, a, len).expect("valid street");
+                }
+            }
+        }
+        b.build().expect("manhattan grid is non-empty")
+    };
+    let g = build(false);
+    if g.is_strongly_connected() {
+        g
+    } else {
+        let g = build(true);
+        debug_assert!(g.is_strongly_connected());
+        g
+    }
+}
+
+/// The pilot study's Region A stand-in: a small, sparse rural map
+/// (~8 km of two-way road over a 1.2 km square).
+///
+/// Deterministic (fixed seed) so experiment outputs are reproducible.
+pub fn campus_region_a() -> RoadGraph {
+    rural(8, 1.2, 0xA)
+}
+
+/// The pilot study's Region B stand-in: a dense downtown grid with
+/// alternating one-way streets (~14 km of road over a 1 km square —
+/// nearly double Region A's segment density, with a ~35 % one-way
+/// share).
+pub fn campus_region_b() -> RoadGraph {
+    downtown(5, 5, 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4, 0.5, true);
+        assert_eq!(g.node_count(), 12);
+        // 2-way: 2 * (horizontal (3-1)*4 + vertical 3*(4-1)) = 2*17 = 34.
+        assert_eq!(g.edge_count(), 34);
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.one_way_fraction(), 0.0);
+    }
+
+    #[test]
+    fn downtown_has_one_way_streets_and_connectivity() {
+        let g = downtown(6, 6, 0.2);
+        assert!(g.is_strongly_connected());
+        assert!(
+            g.one_way_fraction() > 0.2,
+            "downtown should be one-way heavy"
+        );
+    }
+
+    #[test]
+    fn rural_is_two_way_and_connected() {
+        let g = rural(20, 5.0, 42);
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.one_way_fraction(), 0.0);
+        assert_eq!(g.node_count(), 20);
+    }
+
+    #[test]
+    fn rural_is_deterministic_per_seed() {
+        assert_eq!(rural(15, 4.0, 7), rural(15, 4.0, 7));
+        assert_ne!(rural(15, 4.0, 7), rural(15, 4.0, 8));
+    }
+
+    #[test]
+    fn rome_like_density_gradient() {
+        let g = rome_like(3, 6, 1.0, 1);
+        assert!(g.is_strongly_connected());
+        // Node density: count nodes within 1.5 km vs beyond.
+        let near = g
+            .nodes()
+            .iter()
+            .filter(|n| (n.x * n.x + n.y * n.y).sqrt() < 1.5)
+            .count();
+        let far = g.node_count() - near;
+        // Inner area (π·1.5² ≈ 7 km²) holds `near` nodes; outer annulus
+        // (π·(3.2²−1.5²) ≈ 25 km²) holds `far`. Density must be higher
+        // inside.
+        assert!(near as f64 / 7.0 > far as f64 / 25.0);
+    }
+
+    #[test]
+    fn rome_like_inner_ring_is_one_way() {
+        let g = rome_like(2, 5, 1.0, 3);
+        assert!(g.one_way_fraction() > 0.0);
+    }
+
+    #[test]
+    fn campus_regions_contrast() {
+        let a = campus_region_a();
+        let b = campus_region_b();
+        assert!(a.is_strongly_connected());
+        assert!(b.is_strongly_connected());
+        // Region B: denser segments (per km of extent) and more one-way.
+        assert!(b.one_way_fraction() > a.one_way_fraction());
+        let density = |g: &RoadGraph, extent: f64| g.edge_count() as f64 / (extent * extent);
+        assert!(density(&b, 1.1) > density(&a, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn grid_rejects_degenerate() {
+        grid(1, 5, 1.0, true);
+    }
+}

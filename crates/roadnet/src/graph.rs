@@ -1,0 +1,502 @@
+//! The weighted directed road graph `G = (V, E)` of §3.1.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+
+/// Identifier of a connection (vertex) in a [`RoadGraph`].
+///
+/// Connections are the points where roads intersect, furcate, join, or
+/// change direction; they split roads into road segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a directed road segment (edge) in a [`RoadGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the raw index of this edge.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A connection in the road network, with planar coordinates.
+///
+/// Coordinates are in kilometres and exist so that 2-D-plane baselines
+/// (which measure Euclidean distance) and plotting can use the same map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    /// East–west coordinate in kilometres.
+    pub x: f64,
+    /// North–south coordinate in kilometres.
+    pub y: f64,
+}
+
+impl Node {
+    /// Returns this node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Euclidean distance in kilometres to another node.
+    pub fn euclidean(&self, other: &Node) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A directed road segment `e = (v_e^s, v_e^e)` with weight `w_e`.
+///
+/// Vehicles can only travel from [`Edge::start`] to [`Edge::end`]; a
+/// two-way road is represented by two anti-parallel edges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    id: EdgeId,
+    start: NodeId,
+    end: NodeId,
+    length: f64,
+}
+
+impl Edge {
+    /// Returns this edge's identifier.
+    pub fn id(&self) -> EdgeId {
+        self.id
+    }
+
+    /// The starting connection `v_e^s`.
+    pub fn start(&self) -> NodeId {
+        self.start
+    }
+
+    /// The ending connection `v_e^e`.
+    pub fn end(&self) -> NodeId {
+        self.end
+    }
+
+    /// The weight `w_e`: traveling distance from start to end, in km.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+}
+
+/// A validated weighted directed road graph.
+///
+/// Construct one with [`RoadGraphBuilder`]. Once built, a `RoadGraph` is
+/// immutable; all algorithms in this workspace borrow it.
+///
+/// # Example
+///
+/// ```
+/// use roadnet::RoadGraphBuilder;
+///
+/// let mut b = RoadGraphBuilder::new();
+/// let a = b.add_node(0.0, 0.0);
+/// let c = b.add_node(1.0, 0.0);
+/// b.add_edge(a, c, 1.0)?;
+/// b.add_edge(c, a, 1.0)?;
+/// let graph = b.build()?;
+/// assert_eq!(graph.node_count(), 2);
+/// assert_eq!(graph.edge_count(), 2);
+/// # Ok::<(), roadnet::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// `out_edges[v]` lists edges whose start is `v`.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// `in_edges[v]` lists edges whose end is `v`.
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl RoadGraph {
+    /// Number of connections `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of road segments `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All connections, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All road segments, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Edges leaving `v` (vehicles at `v` may continue onto these).
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_edges[v.0]
+    }
+
+    /// Edges arriving at `v`.
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_edges[v.0]
+    }
+
+    /// Total length of all road segments, in kilometres.
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().map(Edge::length).sum()
+    }
+
+    /// Planar coordinates of an on-edge position, interpolated linearly
+    /// between the segment's endpoints.
+    ///
+    /// `x` is the remaining distance to the edge's ending connection, as
+    /// in [`crate::Location`].
+    pub fn point_on_edge(&self, edge: EdgeId, x: f64) -> (f64, f64) {
+        let e = self.edge(edge);
+        let s = self.node(e.start());
+        let t = self.node(e.end());
+        // Fraction of the way from start to end.
+        let frac = if e.length() > 0.0 {
+            ((e.length() - x) / e.length()).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        (s.x + frac * (t.x - s.x), s.y + frac * (t.y - s.y))
+    }
+
+    /// Whether every connection can reach every other connection.
+    ///
+    /// Strong connectivity is required for travel distances to be finite
+    /// everywhere; generators in this crate always produce strongly
+    /// connected maps.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let n = self.node_count();
+        let reach = |adj: &dyn Fn(usize) -> Vec<usize>| -> usize {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(v) = stack.pop() {
+                for w in adj(v) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        count += 1;
+                        stack.push(w);
+                    }
+                }
+            }
+            count
+        };
+        let fwd = |v: usize| {
+            self.out_edges[v]
+                .iter()
+                .map(|&e| self.edges[e.0].end.0)
+                .collect::<Vec<_>>()
+        };
+        let bwd = |v: usize| {
+            self.in_edges[v]
+                .iter()
+                .map(|&e| self.edges[e.0].start.0)
+                .collect::<Vec<_>>()
+        };
+        reach(&fwd) == n && reach(&bwd) == n
+    }
+
+    /// Fraction of road segments that have no anti-parallel twin, i.e.
+    /// the share of one-way street directions in the map.
+    ///
+    /// The paper's Region B (downtown) has a much higher one-way share
+    /// than Region A (rural); this measure lets tests assert that the
+    /// synthetic substitutes preserve the contrast.
+    pub fn one_way_fraction(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let mut pairs = std::collections::HashSet::new();
+        for e in &self.edges {
+            pairs.insert((e.start.0, e.end.0));
+        }
+        let one_way = self
+            .edges
+            .iter()
+            .filter(|e| !pairs.contains(&(e.end.0, e.start.0)))
+            .count();
+        one_way as f64 / self.edges.len() as f64
+    }
+}
+
+/// Incremental, validating builder for [`RoadGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct RoadGraphBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl RoadGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a connection at planar coordinates `(x, y)` (kilometres) and
+    /// returns its id.
+    pub fn add_node(&mut self, x: f64, y: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { id, x, y });
+        id
+    }
+
+    /// Adds a directed road segment from `start` to `end` with traveling
+    /// distance `length` (kilometres) and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] if either endpoint has not been added;
+    /// * [`GraphError::NonPositiveLength`] if `length` is not a finite
+    ///   positive number;
+    /// * [`GraphError::SelfLoop`] if `start == end` (a road that starts
+    ///   and ends at the same connection carries no positional
+    ///   information and is rejected).
+    pub fn add_edge(
+        &mut self,
+        start: NodeId,
+        end: NodeId,
+        length: f64,
+    ) -> Result<EdgeId, GraphError> {
+        if start.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(start));
+        }
+        if end.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(end));
+        }
+        if !(length.is_finite() && length > 0.0) {
+            return Err(GraphError::NonPositiveLength { start, end, length });
+        }
+        if start == end {
+            return Err(GraphError::SelfLoop(start));
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            id,
+            start,
+            end,
+            length,
+        });
+        Ok(id)
+    }
+
+    /// Adds a two-way road: two anti-parallel segments of equal length.
+    ///
+    /// Returns the pair `(forward, backward)` of edge ids.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoadGraphBuilder::add_edge`].
+    pub fn add_two_way(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        length: f64,
+    ) -> Result<(EdgeId, EdgeId), GraphError> {
+        let fwd = self.add_edge(a, b, length)?;
+        let bwd = self.add_edge(b, a, length)?;
+        Ok((fwd, bwd))
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if no nodes were added.
+    pub fn build(self) -> Result<RoadGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut out_edges = vec![Vec::new(); self.nodes.len()];
+        let mut in_edges = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            out_edges[e.start.0].push(e.id);
+            in_edges[e.end.0].push(e.id);
+        }
+        Ok(RoadGraph {
+            nodes: self.nodes,
+            edges: self.edges,
+            out_edges,
+            in_edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        let v2 = b.add_node(0.0, 1.0);
+        b.add_edge(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v2, 1.5).unwrap();
+        b.add_edge(v2, v0, 1.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(e.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = triangle();
+        for e in g.edges() {
+            assert!(g.out_edges(e.start()).contains(&e.id()));
+            assert!(g.in_edges(e.end()).contains(&e.id()));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let err = b.add_edge(v0, NodeId(7), 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode(NodeId(7))));
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.add_edge(v0, v1, bad),
+                Err(GraphError::NonPositiveLength { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        assert!(matches!(
+            b.add_edge(v0, v0, 1.0),
+            Err(GraphError::SelfLoop(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(
+            RoadGraphBuilder::new().build(),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn directed_cycle_is_strongly_connected() {
+        assert!(triangle().is_strongly_connected());
+    }
+
+    #[test]
+    fn dangling_node_is_not_strongly_connected() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        b.add_node(2.0, 0.0); // unreachable
+        b.add_two_way(v0, v1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(!g.is_strongly_connected());
+    }
+
+    #[test]
+    fn one_way_fraction_counts_unpaired_edges() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        let v2 = b.add_node(2.0, 0.0);
+        b.add_two_way(v0, v1, 1.0).unwrap();
+        b.add_edge(v1, v2, 1.0).unwrap();
+        b.add_edge(v2, v0, 2.0).unwrap();
+        let g = b.build().unwrap();
+        assert!((g.one_way_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_on_edge_interpolates() {
+        let g = triangle();
+        // Edge 0 runs from (0,0) to (1,0), length 1.0. x = remaining
+        // distance to end, so x = 0.25 sits 0.75 of the way along.
+        let (px, py) = g.point_on_edge(EdgeId(0), 0.25);
+        assert!((px - 0.75).abs() < 1e-12);
+        assert!(py.abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_length_sums_weights() {
+        assert!((triangle().total_length() - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: RoadGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

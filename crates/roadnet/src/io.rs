@@ -1,0 +1,339 @@
+//! Map persistence: JSON snapshots and a line-oriented interchange
+//! format.
+//!
+//! Real deployments load municipal road data rather than synthesizing
+//! maps, so `roadnet` ships two formats:
+//!
+//! * **JSON** — the full [`RoadGraph`] via serde, lossless
+//!   ([`save_json`] / [`load_json`]);
+//! * **RNT** ("road network text") — a minimal, diff-friendly format a
+//!   script can emit from OpenStreetMap extracts:
+//!
+//!   ```text
+//!   # comment
+//!   node <id> <x_km> <y_km>
+//!   edge <from> <to> <length_km> [oneway]
+//!   ```
+//!
+//!   Node ids must be dense (0..n in any order); `edge` without
+//!   `oneway` produces both directions.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::graph::{NodeId, RoadGraph, RoadGraphBuilder};
+use crate::GraphError;
+
+/// Error loading or saving a map.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MapIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// A line of the text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed data violated graph invariants.
+    Graph(GraphError),
+}
+
+impl fmt::Display for MapIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapIoError::Io(e) => write!(f, "i/o error: {e}"),
+            MapIoError::Json(e) => write!(f, "json error: {e}"),
+            MapIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            MapIoError::Graph(e) => write!(f, "invalid map: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapIoError::Io(e) => Some(e),
+            MapIoError::Json(e) => Some(e),
+            MapIoError::Graph(e) => Some(e),
+            MapIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MapIoError {
+    fn from(e: std::io::Error) -> Self {
+        MapIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for MapIoError {
+    fn from(e: serde_json::Error) -> Self {
+        MapIoError::Json(e)
+    }
+}
+
+impl From<GraphError> for MapIoError {
+    fn from(e: GraphError) -> Self {
+        MapIoError::Graph(e)
+    }
+}
+
+/// Writes the graph as pretty-printed JSON.
+///
+/// # Errors
+///
+/// I/O and serialization failures as [`MapIoError`].
+pub fn save_json<W: Write>(graph: &RoadGraph, mut writer: W) -> Result<(), MapIoError> {
+    serde_json::to_writer_pretty(&mut writer, graph)?;
+    writer.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Reads a graph from JSON produced by [`save_json`].
+///
+/// # Errors
+///
+/// I/O and deserialization failures as [`MapIoError`].
+pub fn load_json<R: Read>(reader: R) -> Result<RoadGraph, MapIoError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+/// Writes the graph in the RNT text format. Anti-parallel edge pairs of
+/// equal length collapse into a single two-way `edge` line.
+///
+/// # Errors
+///
+/// I/O failures as [`MapIoError`].
+pub fn save_rnt<W: Write>(graph: &RoadGraph, mut writer: W) -> Result<(), MapIoError> {
+    writeln!(
+        writer,
+        "# roadnet map: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for v in graph.nodes() {
+        writeln!(writer, "node {} {} {}", v.id().index(), v.x, v.y)?;
+    }
+    // Detect two-way pairs so the output stays compact.
+    let mut emitted = vec![false; graph.edge_count()];
+    for e in graph.edges() {
+        if emitted[e.id().index()] {
+            continue;
+        }
+        emitted[e.id().index()] = true;
+        let twin = graph
+            .out_edges(e.end())
+            .iter()
+            .map(|&id| graph.edge(id))
+            .find(|t| {
+                t.end() == e.start()
+                    && (t.length() - e.length()).abs() < 1e-12
+                    && !emitted[t.id().index()]
+            });
+        if let Some(t) = twin {
+            emitted[t.id().index()] = true;
+            writeln!(
+                writer,
+                "edge {} {} {}",
+                e.start().index(),
+                e.end().index(),
+                e.length()
+            )?;
+        } else {
+            writeln!(
+                writer,
+                "edge {} {} {} oneway",
+                e.start().index(),
+                e.end().index(),
+                e.length()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses the RNT text format.
+///
+/// # Errors
+///
+/// [`MapIoError::Parse`] with a line number for malformed input;
+/// [`MapIoError::Graph`] if the parsed map violates graph invariants.
+pub fn load_rnt<R: Read>(reader: R) -> Result<RoadGraph, MapIoError> {
+    let reader = BufReader::new(reader);
+    let mut nodes: Vec<(usize, f64, f64)> = Vec::new();
+    let mut edges: Vec<(usize, usize, f64, bool)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let parse_f = |s: &str, what: &str| -> Result<f64, MapIoError> {
+            s.parse().map_err(|_| MapIoError::Parse {
+                line: lineno,
+                message: format!("invalid {what}: {s}"),
+            })
+        };
+        let parse_u = |s: &str, what: &str| -> Result<usize, MapIoError> {
+            s.parse().map_err(|_| MapIoError::Parse {
+                line: lineno,
+                message: format!("invalid {what}: {s}"),
+            })
+        };
+        match parts.as_slice() {
+            ["node", id, x, y] => {
+                nodes.push((parse_u(id, "node id")?, parse_f(x, "x")?, parse_f(y, "y")?));
+            }
+            ["edge", from, to, len] => {
+                edges.push((
+                    parse_u(from, "from")?,
+                    parse_u(to, "to")?,
+                    parse_f(len, "length")?,
+                    false,
+                ));
+            }
+            ["edge", from, to, len, "oneway"] => {
+                edges.push((
+                    parse_u(from, "from")?,
+                    parse_u(to, "to")?,
+                    parse_f(len, "length")?,
+                    true,
+                ));
+            }
+            _ => {
+                return Err(MapIoError::Parse {
+                    line: lineno,
+                    message: format!("unrecognized record: {line}"),
+                })
+            }
+        }
+    }
+    // Node ids must be a permutation of 0..n.
+    let n = nodes.len();
+    let mut coords = vec![None; n];
+    for (id, x, y) in nodes {
+        if id >= n || coords[id].is_some() {
+            return Err(MapIoError::Parse {
+                line: 0,
+                message: format!("node ids must be dense and unique; offending id {id}"),
+            });
+        }
+        coords[id] = Some((x, y));
+    }
+    let mut b = RoadGraphBuilder::new();
+    for c in coords {
+        let (x, y) = c.expect("checked dense above");
+        b.add_node(x, y);
+    }
+    for (from, to, len, oneway) in edges {
+        if from >= n || to >= n {
+            return Err(MapIoError::Parse {
+                line: 0,
+                message: format!("edge endpoint out of range: {from}->{to}"),
+            });
+        }
+        if oneway {
+            b.add_edge(NodeId(from), NodeId(to), len)?;
+        } else {
+            b.add_two_way(NodeId(from), NodeId(to), len)?;
+        }
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn json_round_trip() {
+        let g = generators::downtown(3, 3, 0.3);
+        let mut buf = Vec::new();
+        save_json(&g, &mut buf).unwrap();
+        let back = load_json(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn rnt_round_trip_preserves_structure() {
+        let g = generators::rome_like(2, 4, 0.3, 5);
+        let mut buf = Vec::new();
+        save_rnt(&g, &mut buf).unwrap();
+        let back = load_rnt(buf.as_slice()).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert!((back.total_length() - g.total_length()).abs() < 1e-9);
+        assert_eq!(back.is_strongly_connected(), g.is_strongly_connected());
+        assert!((back.one_way_fraction() - g.one_way_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rnt_parses_hand_written_map() {
+        let text = "# tiny\n\
+                    node 0 0.0 0.0\n\
+                    node 1 1.0 0.0\n\
+                    node 2 1.0 1.0\n\
+                    edge 0 1 1.0\n\
+                    edge 1 2 1.0 oneway\n\
+                    edge 2 0 1.5 oneway\n";
+        let g = load_rnt(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4); // one two-way pair + two one-ways
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn rnt_rejects_malformed_lines() {
+        for bad in [
+            "node 0 0.0",        // missing y
+            "node zero 0.0 0.0", // bad id
+            "edge 0 1",          // missing length
+            "edge 0 1 1.0 both", // bad flag
+            "street 0 1 1.0",    // unknown record
+        ] {
+            let text = format!("node 0 0.0 0.0\nnode 1 1.0 0.0\n{bad}\n");
+            assert!(
+                matches!(load_rnt(text.as_bytes()), Err(MapIoError::Parse { .. })),
+                "accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rnt_rejects_sparse_node_ids() {
+        let text = "node 0 0.0 0.0\nnode 5 1.0 0.0\nedge 0 5 1.0\n";
+        assert!(load_rnt(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rnt_rejects_out_of_range_edges() {
+        let text = "node 0 0.0 0.0\nnode 1 1.0 0.0\nedge 0 7 1.0\n";
+        assert!(load_rnt(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rnt_rejects_graph_violations() {
+        let text = "node 0 0.0 0.0\nnode 1 1.0 0.0\nedge 0 1 -2.0\n";
+        assert!(matches!(
+            load_rnt(text.as_bytes()),
+            Err(MapIoError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let e = MapIoError::Parse {
+            line: 7,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

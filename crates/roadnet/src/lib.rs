@@ -1,0 +1,56 @@
+//! Road-network substrate for vehicle-based spatial crowdsourcing.
+//!
+//! This crate models a road map as a *weighted directed graph*
+//! `G = (V, E)` exactly as in §3.1 of the paper: connections (`V`) split
+//! roads into directed *road segments* (`E`), each segment `e` carrying a
+//! weight `w_e` interpreted as its traveling distance. Vehicles and tasks
+//! live *on edges*, at positions `p = (e, x)` where `x ∈ (0, w_e]` is the
+//! remaining travel distance from `p` to the segment's ending connection.
+//!
+//! Provided here:
+//!
+//! * [`RoadGraph`] — the graph itself, with validated construction via
+//!   [`RoadGraphBuilder`];
+//! * [`Location`] — an on-edge position;
+//! * [`travel_distance`](distance::travel_distance) and friends — the
+//!   directed travel distance `d_G(p, q)` (cases C1/C2, Eq. 9–10), the
+//!   bidirectional `d_min` (Eq. 1), and the estimated traveling-distance
+//!   distortion `Δd_G` (Eq. 8/11);
+//! * [Dijkstra shortest paths](shortest_path) including the SPT-Out /
+//!   SPT-In trees used by the paper's constraint-reduction algorithm;
+//! * [synthetic map generators](generators) standing in for the Rome and
+//!   Glassboro maps of the paper's evaluation;
+//! * [map persistence](io): lossless JSON snapshots plus a minimal text
+//!   interchange format for importing real road data;
+//! * [map composition](compose): translate, merge, and connect maps
+//!   into multi-district study areas.
+//!
+//! # Example
+//!
+//! ```
+//! use roadnet::{generators, Location, NodeDistances};
+//!
+//! let graph = generators::grid(3, 3, 0.5, true);
+//! let dists = NodeDistances::all_pairs(&graph);
+//! let p = Location::new(graph.edges()[0].id(), 0.25);
+//! let q = Location::new(graph.edges()[5].id(), 0.10);
+//! let d = roadnet::distance::travel_distance(&graph, &dists, p, q);
+//! assert!(d.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod distance;
+mod error;
+pub mod generators;
+mod graph;
+pub mod io;
+mod location;
+pub mod shortest_path;
+
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, Node, NodeId, RoadGraph, RoadGraphBuilder};
+pub use location::Location;
+pub use shortest_path::{NodeDistances, ShortestPathTree, TreeDirection};

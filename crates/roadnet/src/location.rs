@@ -1,0 +1,149 @@
+//! On-edge locations `p = (e, x)` (§3.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, RoadGraph};
+
+/// A position on a road segment.
+///
+/// Following §3.1, a location is the ordered pair `(e, x)` where `e` is
+/// the directed segment the vehicle or task is on and `x ∈ (0, w_e]` is
+/// the *remaining traveling distance to the segment's ending connection*
+/// `v_e^e`. Larger `x` means the position is closer to the segment's
+/// start.
+///
+/// # Example
+///
+/// ```
+/// use roadnet::{EdgeId, Location};
+///
+/// let p = Location::new(EdgeId(2), 0.35);
+/// assert_eq!(p.edge(), EdgeId(2));
+/// assert_eq!(p.to_end(), 0.35);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    edge: EdgeId,
+    /// Remaining travel distance to the ending connection of `edge`.
+    x: f64,
+}
+
+impl Location {
+    /// Creates a location on `edge` with remaining distance `x` to its
+    /// ending connection.
+    ///
+    /// The caller is responsible for ensuring `0 ≤ x ≤ w_e`; use
+    /// [`Location::validated`] to check against a graph.
+    pub fn new(edge: EdgeId, x: f64) -> Self {
+        Self { edge, x }
+    }
+
+    /// Creates a location, clamping `x` into `[0, w_e]` for the given
+    /// graph. Returns `None` if `edge` is out of range or `x` is not
+    /// finite.
+    pub fn validated(graph: &RoadGraph, edge: EdgeId, x: f64) -> Option<Self> {
+        if edge.index() >= graph.edge_count() || !x.is_finite() {
+            return None;
+        }
+        let w = graph.edge(edge).length();
+        Some(Self {
+            edge,
+            x: x.clamp(0.0, w),
+        })
+    }
+
+    /// The segment this location lies on (`e(p)` in the paper).
+    pub fn edge(self) -> EdgeId {
+        self.edge
+    }
+
+    /// Remaining traveling distance to the segment's ending connection
+    /// (`x_p` in the paper).
+    pub fn to_end(self) -> f64 {
+        self.x
+    }
+
+    /// Traveling distance already covered from the segment's starting
+    /// connection, i.e. `w_e − x`.
+    pub fn from_start(self, graph: &RoadGraph) -> f64 {
+        graph.edge(self.edge).length() - self.x
+    }
+
+    /// Planar coordinates of this location on the given graph.
+    pub fn point(self, graph: &RoadGraph) -> (f64, f64) {
+        graph.point_on_edge(self.edge, self.x)
+    }
+
+    /// Euclidean (straight-line) distance in kilometres between two
+    /// locations on the same graph — the metric the 2-D-plane baseline
+    /// of §5.1 uses in place of travel distance.
+    pub fn euclidean(self, other: Location, graph: &RoadGraph) -> f64 {
+        let (ax, ay) = self.point(graph);
+        let (bx, by) = other.point(graph);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, x={:.4})", self.edge, self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadGraphBuilder;
+
+    fn line_graph() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(2.0, 0.0);
+        b.add_two_way(v0, v1, 2.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_start_complements_to_end() {
+        let g = line_graph();
+        let p = Location::new(EdgeId(0), 0.5);
+        assert!((p.from_start(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validated_clamps_into_range() {
+        let g = line_graph();
+        let p = Location::validated(&g, EdgeId(0), 5.0).unwrap();
+        assert!((p.to_end() - 2.0).abs() < 1e-12);
+        let q = Location::validated(&g, EdgeId(0), -1.0).unwrap();
+        assert_eq!(q.to_end(), 0.0);
+    }
+
+    #[test]
+    fn validated_rejects_bad_input() {
+        let g = line_graph();
+        assert!(Location::validated(&g, EdgeId(9), 0.1).is_none());
+        assert!(Location::validated(&g, EdgeId(0), f64::NAN).is_none());
+    }
+
+    #[test]
+    fn point_respects_direction() {
+        let g = line_graph();
+        // Edge 0 goes (0,0) -> (2,0); x = 0.5 from the end => 1.5 along.
+        let (px, _) = Location::new(EdgeId(0), 0.5).point(&g);
+        assert!((px - 1.5).abs() < 1e-12);
+        // Edge 1 goes (2,0) -> (0,0); x = 0.5 from the end => at 0.5.
+        let (qx, _) = Location::new(EdgeId(1), 0.5).point(&g);
+        assert!((qx - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_between_antiparallel_points() {
+        let g = line_graph();
+        let p = Location::new(EdgeId(0), 1.0); // at (1, 0)
+        let q = Location::new(EdgeId(1), 1.0); // at (1, 0) too
+        assert!(p.euclidean(q, &g) < 1e-12);
+    }
+}

@@ -1,0 +1,315 @@
+//! Dijkstra shortest paths, shortest-path trees, and all-pairs distances.
+//!
+//! The paper's constraint-reduction algorithm (Algorithm 1) builds, for
+//! every vertex `u'_i` of the auxiliary graph, two shortest-path trees:
+//! *SPT-Out(i)* (all paths leave `u'_i`) and *SPT-In(i)* (all paths end at
+//! `u'_i`). [`ShortestPathTree`] supports both through
+//! [`TreeDirection`]; the In tree is a Dijkstra run over the reversed
+//! graph.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, NodeId, RoadGraph};
+
+/// Whether a shortest-path tree is rooted as a source or a sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeDirection {
+    /// Paths lead *from* the root to every other node (SPT-Out).
+    Out,
+    /// Paths lead from every node *to* the root (SPT-In).
+    In,
+}
+
+/// Max-heap entry ordered so the smallest distance pops first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the min distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A shortest-path tree rooted at one connection.
+///
+/// Stores, for each node, the travel distance to/from the root and the
+/// tree edge through which the shortest path passes, enabling path
+/// reconstruction. Unreachable nodes have infinite distance and no
+/// parent.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    root: NodeId,
+    direction: TreeDirection,
+    dist: Vec<f64>,
+    /// For `Out`: the edge entering node `v` on the root→v path.
+    /// For `In`: the edge leaving node `v` on the v→root path.
+    via: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPathTree {
+    /// Runs Dijkstra from (`Out`) or towards (`In`) `root`.
+    pub fn build(graph: &RoadGraph, root: NodeId, direction: TreeDirection) -> Self {
+        let n = graph.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut via: Vec<Option<EdgeId>> = vec![None; n];
+        let mut settled = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[root.0] = 0.0;
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: root.0,
+        });
+        while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+            if settled[v] {
+                continue;
+            }
+            settled[v] = true;
+            let edges: &[EdgeId] = match direction {
+                TreeDirection::Out => graph.out_edges(NodeId(v)),
+                TreeDirection::In => graph.in_edges(NodeId(v)),
+            };
+            for &eid in edges {
+                let e = graph.edge(eid);
+                let w = match direction {
+                    TreeDirection::Out => e.end().0,
+                    TreeDirection::In => e.start().0,
+                };
+                let nd = d + e.length();
+                if nd < dist[w] {
+                    dist[w] = nd;
+                    via[w] = Some(eid);
+                    heap.push(HeapEntry { dist: nd, node: w });
+                }
+            }
+        }
+        Self {
+            root,
+            direction,
+            dist,
+            via,
+        }
+    }
+
+    /// The root connection of this tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The direction this tree was built with.
+    pub fn direction(&self) -> TreeDirection {
+        self.direction
+    }
+
+    /// Travel distance between the root and `v` (root→v for `Out`,
+    /// v→root for `In`). Infinite if unreachable.
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.dist[v.0]
+    }
+
+    /// Whether `v` is reachable in this tree's direction.
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.dist[v.0].is_finite()
+    }
+
+    /// The tree edge through which the shortest path passes at `v`:
+    /// for an `Out` tree the edge *entering* `v` on the root→v path,
+    /// for an `In` tree the edge *leaving* `v` on the v→root path.
+    /// `None` for the root or unreachable nodes.
+    pub fn via_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.via[v.0]
+    }
+
+    /// The sequence of edges on the shortest path between the root and
+    /// `v`, ordered along the direction of travel (borrowing the graph
+    /// for edge-endpoint lookups — the tree does not store the graph).
+    /// Empty if `v` is the root; `None` if unreachable.
+    pub fn path_edges_on(&self, graph: &RoadGraph, v: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = v.0;
+        let mut guard = 0usize;
+        while cur != self.root.0 {
+            let eid = self.via[cur]?;
+            edges.push(eid);
+            let e = graph.edge(eid);
+            cur = match self.direction {
+                TreeDirection::Out => e.start().0,
+                TreeDirection::In => e.end().0,
+            };
+            guard += 1;
+            if guard > graph.edge_count() + 1 {
+                return None; // corrupted tree; avoid infinite loop
+            }
+        }
+        if self.direction == TreeDirection::Out {
+            edges.reverse();
+        }
+        Some(edges)
+    }
+}
+
+/// All-pairs node-to-node travel distances (`d_G` restricted to `V`).
+///
+/// Built by running Dijkstra from every connection; the road graphs in
+/// this workspace have at most a few thousand connections, for which the
+/// dense `O(|V|²)` matrix is the right trade-off.
+#[derive(Debug, Clone)]
+pub struct NodeDistances {
+    n: usize,
+    /// Row-major: `dist[s * n + t]` = travel distance s→t.
+    dist: Vec<f64>,
+}
+
+impl NodeDistances {
+    /// Computes travel distances between all ordered pairs of
+    /// connections.
+    pub fn all_pairs(graph: &RoadGraph) -> Self {
+        let n = graph.node_count();
+        let mut dist = vec![f64::INFINITY; n * n];
+        for s in 0..n {
+            let tree = ShortestPathTree::build(graph, NodeId(s), TreeDirection::Out);
+            for t in 0..n {
+                dist[s * n + t] = tree.distance(NodeId(t));
+            }
+        }
+        Self { n, dist }
+    }
+
+    /// Travel distance from connection `s` to connection `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn get(&self, s: NodeId, t: NodeId) -> f64 {
+        assert!(s.0 < self.n && t.0 < self.n, "node id out of range");
+        self.dist[s.0 * self.n + t.0]
+    }
+
+    /// Number of connections covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadGraphBuilder;
+
+    /// 4-cycle with asymmetric distances:
+    /// v0 -> v1 -> v2 -> v3 -> v0, lengths 1, 2, 3, 4.
+    fn ring() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|i| b.add_node(i as f64, 0.0)).collect();
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        b.add_edge(v[1], v[2], 2.0).unwrap();
+        b.add_edge(v[2], v[3], 3.0).unwrap();
+        b.add_edge(v[3], v[0], 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn out_tree_distances_follow_cycle() {
+        let g = ring();
+        let t = ShortestPathTree::build(&g, NodeId(0), TreeDirection::Out);
+        assert_eq!(t.distance(NodeId(0)), 0.0);
+        assert_eq!(t.distance(NodeId(1)), 1.0);
+        assert_eq!(t.distance(NodeId(2)), 3.0);
+        assert_eq!(t.distance(NodeId(3)), 6.0);
+    }
+
+    #[test]
+    fn in_tree_is_reverse_of_out() {
+        let g = ring();
+        let t = ShortestPathTree::build(&g, NodeId(0), TreeDirection::In);
+        // v1 -> v0 must go v1->v2->v3->v0 = 2+3+4 = 9.
+        assert_eq!(t.distance(NodeId(1)), 9.0);
+        assert_eq!(t.distance(NodeId(3)), 4.0);
+    }
+
+    #[test]
+    fn path_edges_reconstructs_out_path() {
+        let g = ring();
+        let t = ShortestPathTree::build(&g, NodeId(0), TreeDirection::Out);
+        let path = t.path_edges_on(&g, NodeId(2)).unwrap();
+        assert_eq!(path, vec![EdgeId(0), EdgeId(1)]);
+        // Path length equals tree distance.
+        let len: f64 = path.iter().map(|&e| g.edge(e).length()).sum();
+        assert_eq!(len, t.distance(NodeId(2)));
+    }
+
+    #[test]
+    fn path_edges_reconstructs_in_path() {
+        let g = ring();
+        let t = ShortestPathTree::build(&g, NodeId(0), TreeDirection::In);
+        let path = t.path_edges_on(&g, NodeId(2)).unwrap();
+        // v2 -> root(v0): edges (2,3), (3,0), ordered along travel.
+        assert_eq!(path, vec![EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        b.add_edge(v0, v1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let t = ShortestPathTree::build(&g, NodeId(1), TreeDirection::Out);
+        assert!(!t.is_reachable(NodeId(0)));
+        assert!(t.path_edges_on(&g, NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source() {
+        let g = ring();
+        let m = NodeDistances::all_pairs(&g);
+        for s in 0..4 {
+            let t = ShortestPathTree::build(&g, NodeId(s), TreeDirection::Out);
+            for v in 0..4 {
+                assert_eq!(m.get(NodeId(s), NodeId(v)), t.distance(NodeId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_asymmetry() {
+        let g = ring();
+        let m = NodeDistances::all_pairs(&g);
+        assert_eq!(m.get(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(m.get(NodeId(1), NodeId(0)), 9.0);
+    }
+
+    #[test]
+    fn path_to_root_is_empty() {
+        let g = ring();
+        let t = ShortestPathTree::build(&g, NodeId(2), TreeDirection::Out);
+        assert_eq!(
+            t.path_edges_on(&g, NodeId(2)).unwrap(),
+            Vec::<EdgeId>::new()
+        );
+    }
+}

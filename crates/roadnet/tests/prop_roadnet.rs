@@ -1,0 +1,142 @@
+//! Property-based tests for the road-network substrate.
+
+use proptest::prelude::*;
+use roadnet::{
+    distance, generators, Location, NodeDistances, NodeId, RoadGraph, ShortestPathTree,
+    TreeDirection,
+};
+
+/// A strategy producing random strongly connected maps from the
+/// generator family.
+fn arb_graph() -> impl Strategy<Value = RoadGraph> {
+    prop_oneof![
+        (2usize..5, 2usize..5, 0.2f64..0.8)
+            .prop_map(|(nx, ny, s)| generators::grid(nx, ny, s, true)),
+        (3usize..6, 3usize..6, 0.2f64..0.5).prop_map(|(nx, ny, s)| generators::downtown(nx, ny, s)),
+        (4usize..12, 1.0f64..3.0, 0u64..100).prop_map(|(n, e, seed)| generators::rural(n, e, seed)),
+        (1usize..3, 3usize..7, 0.3f64..0.8, 0u64..100)
+            .prop_map(|(r, s, g, seed)| generators::rome_like(r, s, g, seed)),
+    ]
+}
+
+/// A random location on a given graph, chosen by edge index fraction
+/// and offset fraction.
+fn location_on(graph: &RoadGraph, edge_frac: f64, x_frac: f64) -> Location {
+    let e = ((graph.edge_count() as f64 - 1.0) * edge_frac).round() as usize;
+    let edge = graph.edges()[e];
+    Location::new(
+        edge.id(),
+        (edge.length() * x_frac).clamp(0.0, edge.length()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated maps are strongly connected, so every travel distance
+    /// is finite and zero exactly on the diagonal.
+    #[test]
+    fn distances_are_finite_and_identity_holds(
+        graph in arb_graph(),
+        ef in 0.0f64..1.0,
+        xf in 0.0f64..1.0,
+    ) {
+        let dists = NodeDistances::all_pairs(&graph);
+        let p = location_on(&graph, ef, xf);
+        prop_assert_eq!(distance::travel_distance(&graph, &dists, p, p), 0.0);
+        for v in graph.nodes() {
+            for w in graph.nodes() {
+                let d = dists.get(v.id(), w.id());
+                prop_assert!(d.is_finite());
+                if v.id() == w.id() {
+                    prop_assert_eq!(d, 0.0);
+                } else {
+                    prop_assert!(d > 0.0);
+                }
+            }
+        }
+    }
+
+    /// Node-to-node distances obey the triangle inequality.
+    #[test]
+    fn node_distances_obey_triangle_inequality(graph in arb_graph()) {
+        let dists = NodeDistances::all_pairs(&graph);
+        let n = graph.node_count().min(8);
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let direct = dists.get(NodeId(a), NodeId(c));
+                    let via = dists.get(NodeId(a), NodeId(b)) + dists.get(NodeId(b), NodeId(c));
+                    prop_assert!(direct <= via + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Location-level travel distance obeys the triangle inequality.
+    #[test]
+    fn location_distances_obey_triangle_inequality(
+        graph in arb_graph(),
+        fr in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3),
+    ) {
+        let dists = NodeDistances::all_pairs(&graph);
+        let pts: Vec<Location> =
+            fr.iter().map(|&(e, x)| location_on(&graph, e, x)).collect();
+        let d = |a: Location, b: Location| distance::travel_distance(&graph, &dists, a, b);
+        prop_assert!(d(pts[0], pts[2]) <= d(pts[0], pts[1]) + d(pts[1], pts[2]) + 1e-9);
+    }
+
+    /// `d_min` is symmetric and bounded by each directed distance.
+    #[test]
+    fn d_min_is_symmetric_lower_envelope(
+        graph in arb_graph(),
+        e1 in 0.0f64..1.0, x1 in 0.0f64..1.0,
+        e2 in 0.0f64..1.0, x2 in 0.0f64..1.0,
+    ) {
+        let dists = NodeDistances::all_pairs(&graph);
+        let p = location_on(&graph, e1, x1);
+        let q = location_on(&graph, e2, x2);
+        let m1 = distance::travel_distance_min(&graph, &dists, p, q);
+        let m2 = distance::travel_distance_min(&graph, &dists, q, p);
+        prop_assert!((m1 - m2).abs() < 1e-12);
+        prop_assert!(m1 <= distance::travel_distance(&graph, &dists, p, q) + 1e-12);
+        prop_assert!(m1 <= distance::travel_distance(&graph, &dists, q, p) + 1e-12);
+    }
+
+    /// SPT distances agree with the all-pairs matrix and reconstructed
+    /// paths have matching lengths.
+    #[test]
+    fn spt_paths_match_their_distances(graph in arb_graph(), root_frac in 0.0f64..1.0) {
+        let root = NodeId(((graph.node_count() as f64 - 1.0) * root_frac).round() as usize);
+        let dists = NodeDistances::all_pairs(&graph);
+        let out = ShortestPathTree::build(&graph, root, TreeDirection::Out);
+        let inn = ShortestPathTree::build(&graph, root, TreeDirection::In);
+        for v in graph.nodes() {
+            prop_assert!((out.distance(v.id()) - dists.get(root, v.id())).abs() < 1e-9);
+            prop_assert!((inn.distance(v.id()) - dists.get(v.id(), root)).abs() < 1e-9);
+            if let Some(path) = out.path_edges_on(&graph, v.id()) {
+                let len: f64 = path.iter().map(|&e| graph.edge(e).length()).sum();
+                prop_assert!((len - out.distance(v.id())).abs() < 1e-9);
+                // Path edges chain correctly from the root.
+                if let Some(first) = path.first() {
+                    prop_assert_eq!(graph.edge(*first).start(), root);
+                }
+                if let Some(last) = path.last() {
+                    prop_assert_eq!(graph.edge(*last).end(), v.id());
+                }
+            }
+        }
+    }
+
+    /// RNT round trip preserves every structural statistic.
+    #[test]
+    fn rnt_round_trip_is_structure_preserving(graph in arb_graph()) {
+        let mut buf = Vec::new();
+        roadnet::io::save_rnt(&graph, &mut buf).expect("serialize");
+        let back = roadnet::io::load_rnt(buf.as_slice()).expect("parse");
+        prop_assert_eq!(back.node_count(), graph.node_count());
+        prop_assert_eq!(back.edge_count(), graph.edge_count());
+        prop_assert!((back.total_length() - graph.total_length()).abs() < 1e-9);
+        prop_assert!((back.one_way_fraction() - graph.one_way_fraction()).abs() < 1e-12);
+    }
+}

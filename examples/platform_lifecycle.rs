@@ -1,0 +1,66 @@
+//! The full platform lifecycle of §2 / Fig. 2: the server boots,
+//! publishes tasks, workers report obfuscated locations, snapshots
+//! assign tasks, and a drifting worker population triggers a mechanism
+//! refresh that workers re-download.
+//!
+//! ```text
+//! cargo run --release -p vlp-bench --example platform_lifecycle
+//! ```
+
+use platform::{Server, ServerConfig, Simulation, SimulationConfig};
+use roadnet::generators;
+
+fn main() -> Result<(), vlp_core::VlpError> {
+    let graph = generators::downtown(3, 3, 0.3);
+    println!(
+        "booting server on a {}-segment downtown map",
+        graph.edge_count()
+    );
+    let server = Server::bootstrap(
+        graph,
+        ServerConfig {
+            delta: 0.15,
+            epsilon: 5.0,
+            refresh_min_reports: 60,
+            refresh_tv_threshold: 0.15,
+            ..ServerConfig::default()
+        },
+    )?;
+    println!(
+        "mechanism epoch {} ready: expected quality loss {:.4} km",
+        server.epoch(),
+        server.quality_loss()
+    );
+
+    let mut sim = Simulation::new(
+        server,
+        SimulationConfig {
+            n_workers: 8,
+            snapshot_every: 2,
+            task_rate: 0.7,
+            ..SimulationConfig::default()
+        },
+        2024,
+    );
+    let report = sim.run(120);
+
+    println!("\nafter 120 ticks:");
+    println!("  tasks published  {}", report.published_tasks);
+    println!("  tasks assigned   {}", report.assigned_tasks);
+    println!("  tasks completed  {}", report.completed_tasks);
+    println!("  true travel      {:.2} km", report.true_travel_km);
+    println!(
+        "  estimated travel {:.2} km (server's view from reports)",
+        report.estimated_travel_km
+    );
+    println!(
+        "  estimate gap     {:.3} km per assignment",
+        report.mean_estimate_gap()
+    );
+    println!("  mech refreshes   {}", report.mechanism_refreshes);
+    println!(
+        "\nThe server never observed a true location; every assignment was\n\
+         computed from geo-indistinguishable reports."
+    );
+    Ok(())
+}

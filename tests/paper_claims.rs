@@ -1,0 +1,170 @@
+//! The paper's headline qualitative claims, checked at test scale.
+//!
+//! Absolute numbers depend on the map and trace data (ours are
+//! synthetic), but each claim's *direction* must reproduce. These are
+//! the same checks the figure binaries print, pinned here so
+//! `cargo test` guards them.
+
+use adversary::bayes;
+use vlp_bench::scenarios;
+use vlp_core::baseline::laplace::planar_laplace;
+use vlp_core::constraint_reduction::reduced_spec;
+use vlp_core::{Mechanism, PrivacySpec};
+
+fn small_instance() -> vlp_core::VlpInstance {
+    let graph = scenarios::rome_graph();
+    let traces = scenarios::fleet(&graph, 3, 250, 42);
+    scenarios::cab_instance(&graph, 0.4, &traces[0], &traces)
+}
+
+/// §5.1 / Fig. 11: our road-metric mechanism beats the 2-D-plane
+/// optimal mechanism on quality loss at equal ε.
+#[test]
+fn ours_beats_2db_on_quality_loss() {
+    let inst = small_instance();
+    let eps = 5.0;
+    let (ours, _, _) = scenarios::solve_ours(&inst, eps, -1e-6);
+    let twodb = scenarios::solve_2db(&inst, eps);
+    let m_ours = scenarios::evaluate(&inst, &ours);
+    let m_2db = scenarios::evaluate(&inst, &twodb);
+    assert!(
+        m_ours.etdd <= m_2db.etdd + 1e-9,
+        "ours {} must not exceed 2Db {}",
+        m_ours.etdd,
+        m_2db.etdd
+    );
+}
+
+/// Fig. 12(a): quality loss falls as ε grows.
+#[test]
+fn quality_loss_falls_with_epsilon() {
+    let inst = small_instance();
+    let losses: Vec<f64> = [1.0, 4.0, 10.0]
+        .iter()
+        .map(|&e| scenarios::solve_ours(&inst, e, scenarios::DEFAULT_XI).1)
+        .collect();
+    assert!(
+        losses[0] >= losses[1] - 1e-6 && losses[1] >= losses[2] - 1e-6,
+        "{losses:?}"
+    );
+}
+
+/// Fig. 12(b): AdvError falls as ε grows (weaker privacy).
+#[test]
+fn adv_error_falls_with_epsilon() {
+    let inst = small_instance();
+    let adv: Vec<f64> = [1.0, 10.0]
+        .iter()
+        .map(|&e| {
+            let (m, _, _) = scenarios::solve_ours(&inst, e, scenarios::DEFAULT_XI);
+            scenarios::evaluate(&inst, &m).adv_error
+        })
+        .collect();
+    assert!(adv[0] >= adv[1] - 1e-6, "{adv:?}");
+}
+
+/// Fig. 13(a): constraint reduction removes the overwhelming majority
+/// of Geo-I rows while keeping the mechanism feasible for the full set.
+#[test]
+fn constraint_reduction_is_dramatic_and_sound() {
+    let inst = small_instance();
+    let k = inst.len();
+    let full = PrivacySpec::full(&inst.aux, 5.0, f64::INFINITY);
+    let red = reduced_spec(&inst.aux, 5.0, f64::INFINITY);
+    // The reduction ratio is ~O(M/K²): asymptotically cubic→quadratic.
+    // At test scale (small K) the saving is proportionally smaller, so
+    // gate on the K-dependent bound rather than the paper's >99 %
+    // (which our figure-scale runs do reach — see fig13_efficiency).
+    let removed = 1.0 - red.lp_row_count(k) as f64 / full.lp_row_count(k) as f64;
+    let expected = 1.0 - 8.0 / k as f64;
+    assert!(
+        removed > expected.max(0.5),
+        "only removed {removed} (expected > {expected})"
+    );
+    let (mech, _, _) = scenarios::solve_ours(&inst, 5.0, scenarios::DEFAULT_XI);
+    assert!(
+        mech.max_violation(&full) <= 1e-5,
+        "reduced solution violates full spec"
+    );
+}
+
+/// Fig. 13(e): column generation is near-optimal against its own dual
+/// bound.
+#[test]
+fn cg_is_near_optimal_vs_dual_bound() {
+    let inst = small_instance();
+    let (_, loss, diag) = scenarios::solve_ours(&inst, 5.0, -1e-9);
+    let lb = diag.best_dual_bound();
+    assert!(lb > 0.0, "dual bound should be positive at eps=5");
+    let ratio = loss / lb;
+    assert!(
+        (1.0 - 1e-6..1.3).contains(&ratio),
+        "approximation ratio {ratio}"
+    );
+}
+
+/// Fig. 19: the downtown topology (Region B) is harder for the
+/// adversary — AdvError is higher than in the rural Region A.
+///
+/// Note: the paper also reports higher *ETDD* downtown; under optimal
+/// per-region mechanisms on our synthetic maps that direction does NOT
+/// reproduce (dense 2-D grids offer near-equidistant obfuscation
+/// alternatives that sparse rural topologies lack, so the optimizer
+/// obfuscates downtown almost for free). The deviation and its analysis
+/// are recorded in EXPERIMENTS.md; the privacy direction below is the
+/// robust part of the claim.
+#[test]
+fn downtown_confuses_the_adversary_more_than_rural() {
+    use mobility::{estimate_prior, generate_trace, TraceConfig};
+    use vlp_core::Discretization;
+    let mut adv = Vec::new();
+    for (graph, delta) in [(scenarios::region_a(), 0.25), (scenarios::region_b(), 0.25)] {
+        let disc = Discretization::new(&graph, delta);
+        let cfg = TraceConfig {
+            reports: 300,
+            report_period_secs: 20.0,
+            ..TraceConfig::default()
+        };
+        let drv = generate_trace(&graph, &cfg, 5);
+        let f_p = estimate_prior(&graph, &disc, &[drv], 0.1).expect("on map");
+        let tasks = scenarios::spread_tasks(disc.len(), 10.min(disc.len()));
+        let inst = scenarios::instance_with_tasks(&graph, delta, f_p, &tasks);
+        let (mech, _, _) = scenarios::solve_ours(&inst, 5.0, scenarios::DEFAULT_XI);
+        adv.push(scenarios::evaluate(&inst, &mech).adv_error);
+    }
+    assert!(
+        adv[1] > adv[0],
+        "downtown {} must exceed rural {}",
+        adv[1],
+        adv[0]
+    );
+}
+
+/// Related-work positioning: the optimized mechanism dominates the
+/// unoptimized planar-Laplace baseline on quality at equal ε.
+#[test]
+fn optimized_mechanism_beats_planar_laplace() {
+    let inst = small_instance();
+    let eps = 3.0;
+    let (ours, _, _) = scenarios::solve_ours(&inst, eps, scenarios::DEFAULT_XI);
+    let lap = planar_laplace(&inst.graph, &inst.disc, eps);
+    assert!(ours.quality_loss(&inst.cost) <= lap.quality_loss(&inst.cost) + 1e-9);
+}
+
+/// The identity mechanism is the no-privacy anchor: zero loss, zero
+/// adversary error; the solved mechanism must sit strictly between the
+/// anchors.
+#[test]
+fn solved_mechanism_sits_between_anchors() {
+    let inst = small_instance();
+    let (ours, loss, _) = scenarios::solve_ours(&inst, 3.0, scenarios::DEFAULT_XI);
+    let id_adv = bayes::adv_error(
+        &Mechanism::identity(inst.len()),
+        &inst.f_p,
+        &inst.interval_dists,
+    );
+    let our_adv = bayes::adv_error(&ours, &inst.f_p, &inst.interval_dists);
+    assert!(id_adv.abs() < 1e-9);
+    assert!(our_adv > 0.0, "privacy must cost the adversary something");
+    assert!(loss > 0.0, "geo-I at eps=3 cannot be free");
+}
