@@ -1,0 +1,184 @@
+//! Deterministic smoke benchmark for CI: runs the full pipeline
+//! (discretize → constraint reduction → column generation → snapshot
+//! assignment) on a fixed-seed grid scenario and emits the workspace
+//! telemetry snapshot as `artifacts/bench_smoke.json`.
+//!
+//! The artifact is schema-validated (`vlp_obs::schema`) and checked for
+//! the signals CI gates on: nonzero simplex pivot counts, populated CG
+//! iteration histories, and an end-to-end wall-time timer. Timings are
+//! recorded but never gated — only structure and deterministic fields
+//! are.
+//!
+//! Flags:
+//!
+//! * `--out <path>` — artifact destination (default
+//!   `artifacts/bench_smoke.json`);
+//! * `--check` — run the scenario twice and fail unless all non-timing
+//!   fields (counters, series, run id) are identical across runs.
+
+use std::time::Instant;
+
+use platform::{Server, ServerConfig, Simulation, SimulationConfig};
+use roadnet::generators;
+use serde_json::Value;
+use vlp_bench::scenarios;
+
+/// Seed shared by every stochastic component of the scenario.
+const SEED: u64 = 20_260_807;
+
+/// Stable run identifier: bump the suffix when the scenario changes.
+const RUN_ID: &str = "bench-smoke-v1";
+
+/// Runs the fixed scenario against a freshly reset global registry and
+/// returns the resulting telemetry snapshot.
+fn run_pipeline() -> Value {
+    let obs = vlp_obs::global();
+    obs.reset();
+    obs.set_run_id(RUN_ID);
+    let total = Instant::now();
+
+    // Solver leg: grid map, small fleet, CR + CG solve.
+    let graph = generators::grid(4, 4, 0.4, true);
+    let traces = scenarios::fleet(&graph, 3, 200, SEED);
+    let inst = scenarios::cab_instance(&graph, 0.4, &traces[0], &traces);
+    let (mech, etdd, diag) = scenarios::solve_ours(&inst, 5.0, scenarios::DEFAULT_XI);
+    assert!(mech.is_row_stochastic(1e-6), "CG produced a non-mechanism");
+    obs.push("bench_smoke.etdd_km", etdd);
+    obs.incr("bench_smoke.cg_iterations", diag.iterations as u64);
+
+    // Platform leg: simulated workers report, get matched, and drive —
+    // exercises snapshot latency and assignment-distortion telemetry.
+    let server = Server::bootstrap(
+        generators::grid(3, 3, 0.4, true),
+        ServerConfig {
+            delta: 0.2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bootstrap solve must succeed on the smoke grid");
+    let mut sim = Simulation::new(
+        server,
+        SimulationConfig {
+            n_workers: 6,
+            ..SimulationConfig::default()
+        },
+        SEED,
+    );
+    let report = sim.run(45);
+    obs.incr("bench_smoke.assigned_tasks", report.assigned_tasks as u64);
+
+    obs.record_duration("bench_smoke.total", total.elapsed());
+    obs.snapshot()
+}
+
+/// The non-timing projection of a snapshot: everything except the
+/// `timers` section, whose nanosecond fields legitimately vary between
+/// runs (their `count`s are deterministic but ride along).
+fn non_timing(snapshot: &Value) -> Value {
+    let mut doc = snapshot.clone();
+    if let Some(map) = doc.as_object_mut() {
+        map.remove("timers");
+    }
+    doc
+}
+
+/// Asserts the structural signals CI gates on; returns an error message
+/// naming the first missing signal.
+fn check_signals(snapshot: &Value) -> Result<(), String> {
+    vlp_obs::schema::validate_snapshot(snapshot)?;
+    let pivots = snapshot["counters"][lpsolve::metrics::PIVOTS]
+        .as_u64()
+        .unwrap_or(0);
+    if pivots == 0 {
+        return Err("simplex pivot count is zero — solver telemetry not wired".into());
+    }
+    for series in [
+        vlp_core::column_generation::metrics::MASTER_OBJECTIVE,
+        vlp_core::column_generation::metrics::DUAL_BOUND,
+        vlp_core::column_generation::metrics::MIN_ZETA,
+    ] {
+        if snapshot["series"][series]
+            .as_array()
+            .is_none_or(|a| a.is_empty())
+        {
+            return Err(format!("CG series `{series}` is missing or empty"));
+        }
+    }
+    let total = &snapshot["timers"]["bench_smoke.total"];
+    if total["total_ns"].as_u64().unwrap_or(0) == 0 {
+        return Err("end-to-end wall-time timer is missing".into());
+    }
+    if snapshot["series"][platform::metrics::ASSIGNMENT_DISTORTION_KM]
+        .as_array()
+        .is_none_or(|a| a.is_empty())
+    {
+        return Err("assignment-distortion series is missing or empty".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut out = String::from("artifacts/bench_smoke.json");
+    let mut check = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out = argv.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag `{other}` (expected --check or --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let snapshot = run_pipeline();
+    if let Err(e) = check_signals(&snapshot) {
+        eprintln!("bench_smoke: FAIL — {e}");
+        std::process::exit(1);
+    }
+
+    if check {
+        let second = run_pipeline();
+        if let Err(e) = check_signals(&second) {
+            eprintln!("bench_smoke: FAIL (second run) — {e}");
+            std::process::exit(1);
+        }
+        if non_timing(&snapshot) != non_timing(&second) {
+            eprintln!("bench_smoke: FAIL — non-timing fields differ between same-seed runs");
+            eprintln!(
+                "first:  {}",
+                serde_json::to_string(&non_timing(&snapshot)).unwrap()
+            );
+            eprintln!(
+                "second: {}",
+                serde_json::to_string(&non_timing(&second)).unwrap()
+            );
+            std::process::exit(1);
+        }
+        println!("determinism check: non-timing fields identical across two runs");
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+    }
+    let mut doc = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    doc.push('\n');
+    std::fs::write(&out, doc).expect("write artifact");
+
+    let pivots = snapshot["counters"][lpsolve::metrics::PIVOTS]
+        .as_u64()
+        .unwrap();
+    let solves = snapshot["counters"][lpsolve::metrics::SOLVES]
+        .as_u64()
+        .unwrap_or(0);
+    let total_ns = snapshot["timers"]["bench_smoke.total"]["total_ns"]
+        .as_u64()
+        .unwrap();
+    println!(
+        "bench_smoke: OK — {solves} LP solves, {pivots} pivots, {:.2}s end-to-end → {out}",
+        total_ns as f64 / 1e9
+    );
+}

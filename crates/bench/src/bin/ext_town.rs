@@ -39,8 +39,8 @@ fn main() {
         ..TraceConfig::default()
     };
     let driver = generate_trace(&graph, &cfg, 23);
-    let f_p = estimate_prior(&graph, &disc, std::slice::from_ref(&driver), 0.1)
-        .expect("driver on map");
+    let f_p =
+        estimate_prior(&graph, &disc, std::slice::from_ref(&driver), 0.1).expect("driver on map");
     let tasks = scenarios::spread_tasks(k, 40.min(k));
     let inst = scenarios::instance_with_tasks(&graph, delta, f_p, &tasks);
     let (mech, _, _) = scenarios::solve_ours(&inst, epsilon, scenarios::DEFAULT_XI);
@@ -65,9 +65,9 @@ fn main() {
         let d = usize::from(in_east(i));
         let fp = inst.f_p.get(i);
         acc[d].0 += fp;
-        for l in 0..k {
+        for (l, &e) in est.iter().enumerate().take(k) {
             acc[d].1 += inst.cost.get(i, l) * mech.prob(i, l);
-            acc[d].2 += fp * mech.prob(i, l) * inst.interval_dists.get_min(i, est[l]);
+            acc[d].2 += fp * mech.prob(i, l) * inst.interval_dists.get_min(i, e);
         }
     }
     let rows: Vec<Vec<String>> = [("A rural west", acc[0]), ("B downtown east", acc[1])]
@@ -83,7 +83,12 @@ fn main() {
         .collect();
     print_table(
         "Extension — one town-wide mechanism, conditional metrics",
-        &["district", "prior mass", "ETDD | district", "AdvError | district"],
+        &[
+            "district",
+            "prior mass",
+            "ETDD | district",
+            "AdvError | district",
+        ],
         &rows,
     );
     let adv_ratio = (acc[1].2 / acc[1].0) / (acc[0].2 / acc[0].0);

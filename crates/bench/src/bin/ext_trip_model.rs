@@ -44,14 +44,24 @@ fn main() {
         (
             "random walk",
             (0..4)
-                .map(|s| interval_trace(&graph, &inst.disc, &generate_trace(&graph, &walk_cfg, 100 + s)))
+                .map(|s| {
+                    interval_trace(
+                        &graph,
+                        &inst.disc,
+                        &generate_trace(&graph, &walk_cfg, 100 + s),
+                    )
+                })
                 .collect::<Vec<_>>(),
         ),
         (
             "trips",
             (0..4)
                 .map(|s| {
-                    interval_trace(&graph, &inst.disc, &generate_trip_trace(&graph, &trip_cfg, 100 + s))
+                    interval_trace(
+                        &graph,
+                        &inst.disc,
+                        &generate_trip_trace(&graph, &trip_cfg, 100 + s),
+                    )
                 })
                 .collect::<Vec<_>>(),
         ),
@@ -61,7 +71,10 @@ fn main() {
         let trans = hmm::TransitionMatrix::learn(inst.len(), &seqs[..3], 0.05);
         let truth = &seqs[3];
         let mut rng = StdRng::seed_from_u64(5);
-        let observed: Vec<usize> = truth.iter().map(|&i| mech.sample_interval(i, &mut rng)).collect();
+        let observed: Vec<usize> = truth
+            .iter()
+            .map(|&i| mech.sample_interval(i, &mut rng))
+            .collect();
         let viterbi = hmm::viterbi(&trans, &inst.f_p, &mech, &observed);
         let marginals = hmm::forward_backward(&trans, &inst.f_p, &mech, &observed);
         let marginal = hmm::decode_marginals(&marginals);
@@ -77,6 +90,10 @@ fn main() {
     );
     println!(
         "\nshape check — trip mobility leaks more (lower adversary error): {}",
-        if gains[1] <= gains[0] + 1e-9 { "PASS" } else { "FAIL" }
+        if gains[1] <= gains[0] + 1e-9 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }

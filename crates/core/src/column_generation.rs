@@ -26,6 +26,32 @@ use std::time::{Duration, Instant};
 
 use lpsolve::{LinearProgram, Relation};
 
+/// Telemetry metric names recorded by this module into
+/// [`vlp_obs::global`]; per-iteration histories land in series, time
+/// splits in timers, and totals in counters.
+pub mod metrics {
+    /// Counter: column-generation runs.
+    pub const SOLVES: &str = "cg.solves";
+    /// Counter: master iterations across all runs.
+    pub const ITERATIONS: &str = "cg.iterations";
+    /// Counter: columns added across all runs.
+    pub const COLUMNS_ADDED: &str = "cg.columns_added";
+    /// Series: restricted-master objective after each master solve.
+    pub const MASTER_OBJECTIVE: &str = "cg.master_objective";
+    /// Series: dual lower bound ω (Theorem 4.4) after each iteration.
+    pub const DUAL_BOUND: &str = "cg.dual_bound";
+    /// Series: `min_l ζ_l` after each pricing round.
+    pub const MIN_ZETA: &str = "cg.min_zeta";
+    /// Series: pricing threads used, one sample per run.
+    pub const THREADS_USED: &str = "cg.threads_used";
+    /// Timer: whole column-generation run.
+    pub const SOLVE_TIME: &str = "cg.solve";
+    /// Timer: cumulative restricted-master share of each run.
+    pub const MASTER_TIME: &str = "cg.master";
+    /// Timer: cumulative pricing share of each run.
+    pub const PRICING_TIME: &str = "cg.pricing";
+}
+
 use crate::cost::CostMatrix;
 use crate::error::VlpError;
 use crate::mechanism::Mechanism;
@@ -87,6 +113,13 @@ pub struct CgDiagnostics {
     pub columns_added: usize,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
+    /// Wall-clock time spent solving restricted masters.
+    pub master_time: Duration,
+    /// Wall-clock time spent in the pricing subproblems (all rounds,
+    /// including mispricing retries).
+    pub pricing_time: Duration,
+    /// Number of threads the pricing fan-out used.
+    pub threads: usize,
 }
 
 impl CgDiagnostics {
@@ -97,6 +130,21 @@ impl CgDiagnostics {
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mirrors this run into the global telemetry registry.
+    fn flush(&self) {
+        let reg = vlp_obs::global();
+        reg.incr(metrics::SOLVES, 1);
+        reg.incr(metrics::ITERATIONS, self.iterations as u64);
+        reg.incr(metrics::COLUMNS_ADDED, self.columns_added as u64);
+        reg.extend(metrics::MASTER_OBJECTIVE, &self.master_objective_history);
+        reg.extend(metrics::DUAL_BOUND, &self.dual_bound_history);
+        reg.extend(metrics::MIN_ZETA, &self.min_zeta_history);
+        reg.push(metrics::THREADS_USED, self.threads as f64);
+        reg.record_duration(metrics::SOLVE_TIME, self.wall_time);
+        reg.record_duration(metrics::MASTER_TIME, self.master_time);
+        reg.record_duration(metrics::PRICING_TIME, self.pricing_time);
     }
 }
 
@@ -236,7 +284,10 @@ pub fn solve_column_generation(
         // with large negative λ or violated coupling rows. Any such
         // iterate is useless for duals and reconstruction alike — stop
         // and fall back to the last healthy one.
-        let sol = match solve_master(k, &columns) {
+        let master_started = Instant::now();
+        let master_result = solve_master(k, &columns);
+        diag.master_time += master_started.elapsed();
+        let sol = match master_result {
             Ok(s) => s,
             Err(e) => {
                 if debug {
@@ -292,6 +343,7 @@ pub fn solve_column_generation(
         // Price at the smoothed duals; if that yields nothing new
         // (mispricing), retry at the exact master duals so termination
         // decisions are always made against a valid certificate.
+        let pricing_started = Instant::now();
         let mut min_zeta;
         let mut new_columns;
         let mut lagrangian;
@@ -337,6 +389,7 @@ pub fn solve_column_generation(
             }
             attempt += 1;
         }
+        diag.pricing_time += pricing_started.elapsed();
         diag.min_zeta_history.push(min_zeta);
         diag.dual_bound_history.push(best_bound);
 
@@ -370,6 +423,8 @@ pub fn solve_column_generation(
         columns.extend(new_columns);
     }
     diag.wall_time = start.elapsed();
+    diag.threads = pricing_threads(k, opts.parallel);
+    diag.flush();
 
     // Reconstruct Z from the last master solution:
     // z_{i,l} = Σ_t λ_{l,t} ẑ^t_{i,l}.
@@ -495,6 +550,19 @@ type PricedBlock = (f64, Vec<f64>);
 
 /// Solves all `K` pricing subproblems, returning per block the optimal
 /// value of `min (c_l − π)·z over Λ_l` and its arg-min.
+/// Number of worker threads the pricing fan-out will use for a
+/// `K`-block instance.
+fn pricing_threads(k: usize, parallel: bool) -> usize {
+    if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(k.max(1))
+    } else {
+        1
+    }
+}
+
 fn price_all(
     cost: &CostMatrix,
     spec: &PrivacySpec,
@@ -502,14 +570,7 @@ fn price_all(
     parallel: bool,
 ) -> Result<Vec<PricedBlock>, VlpError> {
     let k = cost.len();
-    let threads = if parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(k)
-    } else {
-        1
-    };
+    let threads = pricing_threads(k, parallel);
     if threads <= 1 {
         return (0..k).map(|l| price_one(cost, spec, pi, l)).collect();
     }
@@ -709,6 +770,37 @@ mod tests {
         for &z in &diag.min_zeta_history {
             assert!(z <= 1e-7);
         }
+    }
+
+    #[test]
+    fn diagnostics_populate_time_split_and_telemetry() {
+        let (aux, cost) = instance(0.5);
+        let spec = reduced_spec(&aux, 2.0, f64::INFINITY);
+        let opts = CgOptions {
+            parallel: true,
+            ..CgOptions::default()
+        };
+        let reg = vlp_obs::global();
+        let solves_before = reg.counter(metrics::SOLVES);
+        let objective_samples_before = reg.series(metrics::MASTER_OBJECTIVE).len();
+        let (_, _, diag) = solve_column_generation(&cost, &spec, &opts).unwrap();
+        // The pricing/master wall-time split is populated and sane.
+        assert!(diag.master_time > Duration::ZERO, "master time not tracked");
+        assert!(
+            diag.pricing_time > Duration::ZERO,
+            "pricing time not tracked"
+        );
+        assert!(diag.master_time + diag.pricing_time <= diag.wall_time);
+        assert!(diag.threads >= 1);
+        // The run is mirrored into the global registry. Other tests in
+        // this binary flush concurrently, so assert lower bounds only.
+        assert!(reg.counter(metrics::SOLVES) > solves_before);
+        assert!(
+            reg.series(metrics::MASTER_OBJECTIVE).len()
+                >= objective_samples_before + diag.master_objective_history.len()
+        );
+        assert!(reg.timer(metrics::PRICING_TIME).is_some());
+        assert!(reg.timer(metrics::MASTER_TIME).is_some());
     }
 
     #[test]

@@ -20,6 +20,21 @@ use roadnet::{NodeId, ShortestPathTree, TreeDirection};
 use crate::auxiliary::AuxiliaryGraph;
 use crate::privacy::{PrivacyConstraint, PrivacySpec};
 
+/// Telemetry metric names recorded by constraint reduction.
+pub mod metrics {
+    /// Counter: number of `reduced_spec` invocations.
+    pub const REDUCTIONS: &str = "cr.reductions";
+    /// Series: directed pair count of the *unreduced* spec, `K·(K−1)`,
+    /// one sample per reduction (the O(K²) baseline of Theorem 4.2).
+    pub const CONSTRAINTS_FULL: &str = "cr.constraints_full";
+    /// Series: directed pair count after reduction, one sample per
+    /// reduction (the O(K) set of Algorithm 1).
+    pub const CONSTRAINTS_REDUCED: &str = "cr.constraints_reduced";
+    /// Timer: wall time of one `reduced_spec` call (SPT walks plus the
+    /// unordered-pair collapse).
+    pub const REDUCE_TIME: &str = "cr.reduce";
+}
+
 /// The output of Algorithm 1: which adjacent interval pairs carry a
 /// Geo-I constraint.
 #[derive(Debug, Clone)]
@@ -118,6 +133,8 @@ impl ReductionResult {
 pub fn reduced_spec(aux: &AuxiliaryGraph, epsilon: f64, radius: f64) -> PrivacySpec {
     assert!(epsilon > 0.0, "epsilon must be positive");
     assert!(radius >= 0.0, "radius must be non-negative");
+    let obs = vlp_obs::global();
+    let _span = obs.start(metrics::REDUCE_TIME);
     // Weight of each directed adjacency.
     let mut edge_weight: std::collections::HashMap<(usize, usize), f64> =
         std::collections::HashMap::new();
@@ -152,6 +169,10 @@ pub fn reduced_spec(aux: &AuxiliaryGraph, epsilon: f64, radius: f64) -> PrivacyS
             dist: w,
         });
     }
+    let k = aux.len();
+    obs.incr(metrics::REDUCTIONS, 1);
+    obs.push(metrics::CONSTRAINTS_FULL, (k * k.saturating_sub(1)) as f64);
+    obs.push(metrics::CONSTRAINTS_REDUCED, constraints.len() as f64);
     PrivacySpec {
         epsilon,
         radius,
@@ -199,6 +220,24 @@ mod tests {
         assert!(reduced.lp_row_count(k) < full.lp_row_count(k) / 10);
         // Reduced stays O(K·M).
         assert!(reduced.pair_count() <= 2 * aux.edge_count());
+    }
+
+    #[test]
+    fn reduction_records_telemetry() {
+        let aux = aux(0.2);
+        let obs = vlp_obs::global();
+        let before_runs = obs.counter(metrics::REDUCTIONS);
+        let before_full = obs.series(metrics::CONSTRAINTS_FULL).len();
+        let before_red = obs.series(metrics::CONSTRAINTS_REDUCED).len();
+        let reduced = reduced_spec(&aux, 5.0, f64::INFINITY);
+        // Lower bounds only: other tests flush to the same global
+        // registry concurrently.
+        assert!(obs.counter(metrics::REDUCTIONS) > before_runs);
+        assert!(obs.series(metrics::CONSTRAINTS_FULL).len() > before_full);
+        assert!(obs.series(metrics::CONSTRAINTS_REDUCED).len() > before_red);
+        let k = aux.len();
+        assert!(reduced.constraints.len() <= k * (k - 1));
+        assert!(obs.timer(metrics::REDUCE_TIME).is_some());
     }
 
     #[test]

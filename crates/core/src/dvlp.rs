@@ -22,6 +22,20 @@ use crate::error::VlpError;
 use crate::mechanism::Mechanism;
 use crate::privacy::PrivacySpec;
 
+/// Telemetry metric names recorded by the direct D-VLP solver.
+pub mod metrics {
+    /// Counter: number of `solve_direct` invocations.
+    pub const SOLVES: &str = "dvlp.solves";
+    /// Timer: time to assemble the LP (objective plus all constraint
+    /// rows) before the simplex runs.
+    pub const MATRIX_BUILD_TIME: &str = "dvlp.matrix_build";
+    /// Timer: end-to-end wall time of one `solve_direct` call.
+    pub const SOLVE_TIME: &str = "dvlp.solve";
+    /// Series: LP row count per solve (`K` unit-measure rows plus
+    /// `K · |constraints|` Geo-I rows).
+    pub const LP_ROWS: &str = "dvlp.lp_rows";
+}
+
 /// Tolerance used when validating the returned matrix.
 const ROW_TOL: f64 = 1e-5;
 
@@ -40,6 +54,8 @@ const ROW_TOL: f64 = 1e-5;
 /// * [`VlpError::MalformedSolution`] if the solver's matrix cannot be
 ///   normalized into a mechanism.
 pub fn solve_direct(cost: &CostMatrix, spec: &PrivacySpec) -> Result<(Mechanism, f64), VlpError> {
+    let obs = vlp_obs::global();
+    let _span = obs.start(metrics::SOLVE_TIME);
     let k = cost.len();
     if k == 0 {
         return Err(VlpError::EmptyInstance);
@@ -52,6 +68,7 @@ pub fn solve_direct(cost: &CostMatrix, spec: &PrivacySpec) -> Result<(Mechanism,
             });
         }
     }
+    let build_started = std::time::Instant::now();
     let var = |i: usize, j: usize| i * k + j;
     let mut lp = LinearProgram::new(k * k);
     let mut obj = Vec::with_capacity(k * k);
@@ -80,6 +97,9 @@ pub fn solve_direct(cost: &CostMatrix, spec: &PrivacySpec) -> Result<(Mechanism,
             )?;
         }
     }
+    obs.record_duration(metrics::MATRIX_BUILD_TIME, build_started.elapsed());
+    obs.incr(metrics::SOLVES, 1);
+    obs.push(metrics::LP_ROWS, (k + spec.constraints.len() * k) as f64);
     let sol = lp.solve()?;
     let mech = Mechanism::from_matrix(k, sol.x, ROW_TOL).ok_or(VlpError::MalformedSolution)?;
     Ok((mech, sol.objective))

@@ -46,3 +46,4 @@ mod simplex;
 
 pub use error::LpError;
 pub use problem::{Constraint, LinearProgram, Relation, Solution};
+pub use simplex::metrics;

@@ -26,6 +26,45 @@
 use crate::error::LpError;
 use crate::problem::{LinearProgram, Relation, Solution};
 
+/// Telemetry metric names recorded by this module (via
+/// [`vlp_obs::global`]). Counted locally in the pivot loop and flushed
+/// once per solve, so instrumentation adds no per-pivot locking.
+pub mod metrics {
+    /// Counter: total calls to the solver.
+    pub const SOLVES: &str = "lpsolve.simplex.solves";
+    /// Counter: pivots across both phases (incl. artificial drive-out).
+    pub const PIVOTS: &str = "lpsolve.simplex.pivots";
+    /// Counter: periodic + phase-boundary refactorizations.
+    pub const REFACTORIZATIONS: &str = "lpsolve.simplex.refactorizations";
+    /// Counter: phase-1 simplex iterations.
+    pub const PHASE1_ITERATIONS: &str = "lpsolve.simplex.phase1_iterations";
+    /// Counter: phase-2 simplex iterations.
+    pub const PHASE2_ITERATIONS: &str = "lpsolve.simplex.phase2_iterations";
+    /// Timer: wall-clock time of each solve.
+    pub const SOLVE_TIME: &str = "lpsolve.simplex.solve";
+}
+
+/// Per-solve event tallies, flushed to the global registry at the end
+/// of [`solve`].
+#[derive(Default)]
+struct SolveStats {
+    pivots: u64,
+    refactorizations: u64,
+    phase1_iterations: u64,
+    phase2_iterations: u64,
+}
+
+impl SolveStats {
+    fn flush(&self) {
+        let reg = vlp_obs::global();
+        reg.incr(metrics::SOLVES, 1);
+        reg.incr(metrics::PIVOTS, self.pivots);
+        reg.incr(metrics::REFACTORIZATIONS, self.refactorizations);
+        reg.incr(metrics::PHASE1_ITERATIONS, self.phase1_iterations);
+        reg.incr(metrics::PHASE2_ITERATIONS, self.phase2_iterations);
+    }
+}
+
 /// Pivot tolerance: entries smaller than this are treated as zero.
 const EPS: f64 = 1e-9;
 /// Phase-1 objective above this value declares infeasibility.
@@ -272,13 +311,27 @@ impl Tableau {
 
     /// Runs simplex iterations until optimality, unboundedness, or the
     /// iteration limit. `c` is the active cost vector (needed for the
-    /// periodic refactorization).
-    fn optimize(&mut self, c: &[f64], bar_artificial: bool) -> Result<(), LpError> {
+    /// periodic refactorization). Iterations, pivots, and
+    /// refactorizations are tallied into `stats`; `phase1` selects
+    /// which per-phase iteration counter they land in.
+    fn optimize(
+        &mut self,
+        c: &[f64],
+        bar_artificial: bool,
+        stats: &mut SolveStats,
+        phase1: bool,
+    ) -> Result<(), LpError> {
         let budget = 200 * (self.m + self.cols) + 20_000;
         let bland_after = budget / 2;
         for iter in 0..budget {
             if iter > 0 && iter % REFACTOR_EVERY == 0 {
                 self.refactor(c);
+                stats.refactorizations += 1;
+            }
+            if phase1 {
+                stats.phase1_iterations += 1;
+            } else {
+                stats.phase2_iterations += 1;
             }
             let bland = iter >= bland_after;
             let Some(col) = self.entering(bland, bar_artificial) else {
@@ -288,6 +341,7 @@ impl Tableau {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
+            stats.pivots += 1;
         }
         Err(LpError::IterationLimit)
     }
@@ -303,6 +357,14 @@ struct NormRow {
 
 /// Solves `lp` and returns the optimum with primal and dual values.
 pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let _span = vlp_obs::global().start(metrics::SOLVE_TIME);
+    let mut stats = SolveStats::default();
+    let result = solve_inner(lp, &mut stats);
+    stats.flush();
+    result
+}
+
+fn solve_inner(lp: &LinearProgram, stats: &mut SolveStats) -> Result<Solution, LpError> {
     let n = lp.n_vars();
     let rows: Vec<NormRow> = lp
         .constraints()
@@ -408,7 +470,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             *c = 1.0;
         }
         t.reprice(&c1);
-        t.optimize(&c1, false)?;
+        t.optimize(&c1, false, stats, true)?;
         if t.objective > FEAS_TOL {
             return Err(LpError::Infeasible);
         }
@@ -417,6 +479,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             if t.basis[i] >= first_artificial {
                 if let Some(j) = (0..first_artificial).find(|&j| t.at(i, j).abs() > 1e-7) {
                     t.pivot(i, j);
+                    stats.pivots += 1;
                 }
                 // Otherwise the row is redundant; the artificial stays
                 // basic at value zero and is barred from re-entering.
@@ -427,10 +490,12 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     // Phase 2: the true objective, from a freshly refactorized basis.
     let mut c2 = vec![0.0; cols];
     c2[..n].copy_from_slice(lp.objective());
-    if !t.refactor(&c2) {
+    if t.refactor(&c2) {
+        stats.refactorizations += 1;
+    } else {
         t.reprice(&c2);
     }
-    t.optimize(&c2, true)?;
+    t.optimize(&c2, true, stats, false)?;
 
     // Extract the primal point.
     let mut x = vec![0.0; n];

@@ -1,0 +1,159 @@
+//! Validation of the snapshot JSON layout.
+//!
+//! CI runs this against `artifacts/bench_smoke.json` so schema drift is
+//! caught by the pipeline, not by downstream dashboards.
+
+use serde_json::Value;
+
+use crate::SCHEMA_VERSION;
+
+/// Checks that `snapshot` conforms to the current snapshot schema.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_snapshot(snapshot: &Value) -> Result<(), String> {
+    let root = snapshot
+        .as_object()
+        .ok_or_else(|| "snapshot root must be an object".to_string())?;
+
+    for key in ["schema_version", "run_id", "counters", "timers", "series"] {
+        if !root.contains_key(key) {
+            return Err(format!("snapshot is missing required key `{key}`"));
+        }
+    }
+
+    let version = root
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "`schema_version` must be an unsigned integer".to_string())?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema_version {version}, expected {SCHEMA_VERSION}"
+        ));
+    }
+
+    root.get("run_id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "`run_id` must be a string".to_string())?;
+
+    let counters = root
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or_else(|| "`counters` must be an object".to_string())?;
+    for (name, value) in counters.iter() {
+        if value.as_u64().is_none() {
+            return Err(format!(
+                "counter `{name}` must be an unsigned integer, got {value}"
+            ));
+        }
+    }
+
+    let timers = root
+        .get("timers")
+        .and_then(Value::as_object)
+        .ok_or_else(|| "`timers` must be an object".to_string())?;
+    for (name, value) in timers.iter() {
+        let stat = value
+            .as_object()
+            .ok_or_else(|| format!("timer `{name}` must be an object"))?;
+        let field = |key: &str| {
+            stat.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("timer `{name}` field `{key}` must be an unsigned integer"))
+        };
+        let count = field("count")?;
+        let total = field("total_ns")?;
+        let min = field("min_ns")?;
+        let max = field("max_ns")?;
+        stat.get("mean_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("timer `{name}` field `mean_ns` must be a number"))?;
+        if count == 0 {
+            return Err(format!("timer `{name}` has zero recorded spans"));
+        }
+        if min > max {
+            return Err(format!("timer `{name}` has min_ns {min} > max_ns {max}"));
+        }
+        if total < max {
+            return Err(format!(
+                "timer `{name}` has total_ns {total} < max_ns {max}"
+            ));
+        }
+    }
+
+    let series = root
+        .get("series")
+        .and_then(Value::as_object)
+        .ok_or_else(|| "`series` must be an object".to_string())?;
+    for (name, value) in series.iter() {
+        let items = value
+            .as_array()
+            .ok_or_else(|| format!("series `{name}` must be an array"))?;
+        for (i, item) in items.iter().enumerate() {
+            if item.as_f64().is_none() {
+                return Err(format!("series `{name}`[{i}] must be a number, got {item}"));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn valid() -> Value {
+        json!({
+            "schema_version": 1,
+            "run_id": "r",
+            "counters": {"c": 3},
+            "timers": {"t": {"count": 2, "total_ns": 10, "min_ns": 4,
+                              "max_ns": 6, "mean_ns": 5.0}},
+            "series": {"s": [1.0, 2.5]}
+        })
+    }
+
+    #[test]
+    fn accepts_valid_snapshot() {
+        validate_snapshot(&valid()).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_key_and_bad_version() {
+        let err = validate_snapshot(&json!({"run_id": "r"})).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+
+        let mut snap = valid();
+        if let Value::Object(map) = &mut snap {
+            map.insert("schema_version".into(), Value::from(99u64));
+        }
+        let err = validate_snapshot(&snap).unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_sections() {
+        let bad_counter = json!({
+            "schema_version": 1, "run_id": "r",
+            "counters": {"c": (-1)}, "timers": {}, "series": {}
+        });
+        assert!(validate_snapshot(&bad_counter).is_err());
+
+        let bad_timer = json!({
+            "schema_version": 1, "run_id": "r", "counters": {},
+            "timers": {"t": {"count": 0, "total_ns": 0, "min_ns": 0,
+                              "max_ns": 0, "mean_ns": 0.0}},
+            "series": {}
+        });
+        assert!(validate_snapshot(&bad_timer).is_err());
+
+        let bad_series = json!({
+            "schema_version": 1, "run_id": "r", "counters": {},
+            "timers": {}, "series": {"s": ["oops"]}
+        });
+        assert!(validate_snapshot(&bad_series).is_err());
+    }
+}

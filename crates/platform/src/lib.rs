@@ -50,6 +50,7 @@ mod server;
 mod simulation;
 mod worker;
 
+pub use server::metrics;
 pub use server::{Server, ServerConfig, SnapshotOutcome};
 pub use simulation::{Simulation, SimulationConfig, SimulationReport};
 pub use worker::{Worker, WorkerId, WorkerStatus};

@@ -10,6 +10,33 @@ use vlp_core::{
 
 use crate::{Task, TaskId, WorkerId};
 
+/// Telemetry metric names recorded by the platform server (and, for
+/// [`ASSIGNMENT_DISTORTION_KM`], by the surrounding simulation which
+/// alone can see true worker locations).
+pub mod metrics {
+    /// Counter: assignment snapshots served.
+    pub const SNAPSHOTS: &str = "platform.snapshots";
+    /// Timer: wall time of one `Server::snapshot` call (report intake
+    /// plus Hungarian matching) — the per-request report latency.
+    pub const SNAPSHOT_TIME: &str = "platform.snapshot";
+    /// Counter: obfuscated worker reports received across snapshots.
+    pub const REPORTS_RECEIVED: &str = "platform.reports_received";
+    /// Counter: task-worker assignments made.
+    pub const ASSIGNMENTS: &str = "platform.assignments";
+    /// Series: the server's estimated travel distance per assignment,
+    /// km (computed from the *reported* interval).
+    pub const ASSIGNMENT_EST_KM: &str = "platform.assignment_est_km";
+    /// Series: per-assignment distortion `|estimated − true|` travel
+    /// km — recorded by [`crate::Simulation`], which knows true
+    /// locations; the server itself never does.
+    pub const ASSIGNMENT_DISTORTION_KM: &str = "platform.assignment_distortion_km";
+    /// Counter: mechanism refreshes triggered by prior drift.
+    pub const REFRESHES: &str = "platform.refreshes";
+    /// Timer: wall time of one mechanism (re-)solve, including
+    /// constraint reduction and column generation.
+    pub const RESOLVE_TIME: &str = "platform.mechanism_resolve";
+}
+
 /// Server-side configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -136,6 +163,7 @@ impl Server {
     /// Re-solves the mechanism for the current priors and bumps the
     /// epoch.
     fn resolve_mechanism(&mut self) -> Result<(), VlpError> {
+        let _span = vlp_obs::global().start(metrics::RESOLVE_TIME);
         let cost = CostMatrix::build(&self.interval_dists, &self.f_p, &self.f_q);
         let spec = reduced_spec(&self.aux, self.config.epsilon, self.config.radius);
         let (mechanism, loss, _) = solve_column_generation(&cost, &spec, &self.config.cg)?;
@@ -219,6 +247,10 @@ impl Server {
     ///
     /// Every report is also folded into the drift statistics.
     pub fn snapshot(&mut self, reports: &[(WorkerId, usize)]) -> SnapshotOutcome {
+        let obs = vlp_obs::global();
+        let _span = obs.start(metrics::SNAPSHOT_TIME);
+        obs.incr(metrics::SNAPSHOTS, 1);
+        obs.incr(metrics::REPORTS_RECEIVED, reports.len() as u64);
         for &(_, j) in reports {
             if j < self.report_counts.len() {
                 self.report_counts[j] += 1.0;
@@ -255,6 +287,9 @@ impl Server {
                 .get(reported, self.tasks[task.0].interval);
             assignments.push((task, worker, est));
         }
+        obs.incr(metrics::ASSIGNMENTS, assignments.len() as u64);
+        let est_kms: Vec<f64> = assignments.iter().map(|&(_, _, est)| est).collect();
+        obs.extend(metrics::ASSIGNMENT_EST_KM, &est_kms);
         self.pending.drain(..n_assign);
         SnapshotOutcome {
             assignments,
@@ -314,6 +349,7 @@ impl Server {
         self.report_total = 0.0;
         self.resolve_mechanism()?;
         self.refreshes += 1;
+        vlp_obs::global().incr(metrics::REFRESHES, 1);
         Ok(true)
     }
 }
@@ -426,6 +462,26 @@ mod tests {
             !s.maybe_refresh().unwrap(),
             "model-consistent reports should not drift"
         );
+    }
+
+    #[test]
+    fn snapshot_records_latency_and_assignment_telemetry() {
+        let obs = vlp_obs::global();
+        let snapshots = obs.counter(metrics::SNAPSHOTS);
+        let reports = obs.counter(metrics::REPORTS_RECEIVED);
+        let assigned = obs.counter(metrics::ASSIGNMENTS);
+        let est_len = obs.series(metrics::ASSIGNMENT_EST_KM).len();
+        let mut s = server();
+        s.publish_task(0);
+        let out = s.snapshot(&[(WorkerId(0), 0), (WorkerId(1), 1)]);
+        assert_eq!(out.assignments.len(), 1);
+        // Lower bounds only: tests share the global registry.
+        assert!(obs.counter(metrics::SNAPSHOTS) > snapshots);
+        assert!(obs.counter(metrics::REPORTS_RECEIVED) >= reports + 2);
+        assert!(obs.counter(metrics::ASSIGNMENTS) > assigned);
+        assert!(obs.series(metrics::ASSIGNMENT_EST_KM).len() > est_len);
+        assert!(obs.timer(metrics::SNAPSHOT_TIME).is_some());
+        assert!(obs.timer(metrics::RESOLVE_TIME).is_some());
     }
 
     #[test]

@@ -160,6 +160,10 @@ impl Simulation {
             self.report.assigned_tasks += 1;
             self.report.true_travel_km += true_km;
             self.report.estimated_travel_km += est;
+            vlp_obs::global().push(
+                crate::server::metrics::ASSIGNMENT_DISTORTION_KM,
+                (est - true_km).abs(),
+            );
         }
         // Prior-drift check; workers re-download on refresh.
         if self.server.maybe_refresh().unwrap_or(false) {

@@ -12,6 +12,15 @@ use std::collections::BinaryHeap;
 
 use crate::graph::{EdgeId, NodeId, RoadGraph};
 
+/// Telemetry metric names recorded by the shortest-path machinery.
+pub mod metrics {
+    /// Counter: Dijkstra runs (`ShortestPathTree::build` calls).
+    pub const DIJKSTRA_RUNS: &str = "roadnet.dijkstra.runs";
+    /// Counter: total nodes settled (popped with a final distance)
+    /// across all Dijkstra runs.
+    pub const SETTLED_NODES: &str = "roadnet.dijkstra.settled_nodes";
+}
+
 /// Whether a shortest-path tree is rooted as a source or a sink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TreeDirection {
@@ -76,11 +85,13 @@ impl ShortestPathTree {
             dist: 0.0,
             node: root.0,
         });
+        let mut settled_count = 0u64;
         while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
             if settled[v] {
                 continue;
             }
             settled[v] = true;
+            settled_count += 1;
             let edges: &[EdgeId] = match direction {
                 TreeDirection::Out => graph.out_edges(NodeId(v)),
                 TreeDirection::In => graph.in_edges(NodeId(v)),
@@ -99,6 +110,9 @@ impl ShortestPathTree {
                 }
             }
         }
+        let obs = vlp_obs::global();
+        obs.incr(metrics::DIJKSTRA_RUNS, 1);
+        obs.incr(metrics::SETTLED_NODES, settled_count);
         Self {
             root,
             direction,
@@ -301,6 +315,18 @@ mod tests {
         let m = NodeDistances::all_pairs(&g);
         assert_eq!(m.get(NodeId(0), NodeId(1)), 1.0);
         assert_eq!(m.get(NodeId(1), NodeId(0)), 9.0);
+    }
+
+    #[test]
+    fn dijkstra_records_runs_and_settled_nodes() {
+        let g = ring();
+        let obs = vlp_obs::global();
+        let runs = obs.counter(metrics::DIJKSTRA_RUNS);
+        let settled = obs.counter(metrics::SETTLED_NODES);
+        let _ = ShortestPathTree::build(&g, NodeId(0), TreeDirection::Out);
+        // Lower bounds only: other tests run Dijkstra concurrently.
+        assert!(obs.counter(metrics::DIJKSTRA_RUNS) > runs);
+        assert!(obs.counter(metrics::SETTLED_NODES) >= settled + 4);
     }
 
     #[test]

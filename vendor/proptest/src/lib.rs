@@ -1,0 +1,505 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the real API the VLP workspace's property
+//! tests use:
+//!
+//! * [`Strategy`] with `prop_map` and `boxed`;
+//! * range strategies (`0usize..4`, `0.3f64..0.7`, …), tuples of
+//!   strategies up to arity 4, [`collection::vec`] with exact or
+//!   ranged sizes, [`any`] for primitives;
+//! * the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//!   and `prop_assume!` macros, plus [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: case generation is fully
+//! deterministic (fixed base seed, no `PROPTEST_CASES` env handling,
+//! no persisted failure regressions) and failing inputs are **not
+//! shrunk** — the panic message reports the failing case index and the
+//! values' `Debug` form instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything the property tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Run-level configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps offline CI fast while still
+        // exercising the generators meaningfully.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the input is outside the property's
+    /// precondition and another input should be tried.
+    Reject,
+}
+
+/// Result of one test-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic split-mix style generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-strategy scale.
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test inputs.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply draws a value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed alternative strategies; built by
+/// `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full u64-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f64, f32);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+}
+
+/// Types with a canonical whole-domain strategy, for [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The strategy behind `any::<bool>()` and friends.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+macro_rules! arbitrary_impl {
+    ($($t:ty => |$rng:ident| $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+arbitrary_impl! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    // Finite, sign-symmetric, moderate magnitude — useful default for
+    // numeric properties without the NaN/inf edge cases `any` in real
+    // proptest includes.
+    f64 => |rng| (rng.unit_f64() - 0.5) * 2.0e6,
+}
+
+/// The whole-domain strategy for `T` (`any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property over `config.cases` generated inputs.
+///
+/// `run_case` generates inputs from the per-case RNG and evaluates the
+/// body, returning a `Debug` dump of the inputs alongside the result so
+/// failures can be reported without shrinking.
+#[doc(hidden)]
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut run_case: impl FnMut(&mut TestRng) -> (String, TestCaseResult),
+) {
+    // Fixed base seed: runs are reproducible across machines.
+    const BASE_SEED: u64 = 0x005E_ED0F_1E1D;
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    while case < config.cases {
+        let mut rng = TestRng::new(BASE_SEED ^ ((u64::from(case) + u64::from(rejected)) << 1));
+        let (inputs, outcome) = run_case(&mut rng);
+        match outcome {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < max_rejects,
+                    "property `{name}`: too many prop_assume! rejections \
+                     ({rejected}) after {case} accepted cases"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {case}: {msg}\n\
+                     inputs: {inputs}"
+                );
+            }
+        }
+    }
+}
+
+/// Declares deterministic property tests over generated inputs.
+///
+/// Supports the real crate's block form, with an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property(stringify!($name), &config, |rng| {
+                let __values = ($($crate::Strategy::generate(&($strat), rng),)+);
+                let inputs = format!("{:?}", __values);
+                let ($($arg,)+) = __values;
+                let outcome: $crate::TestCaseResult = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (inputs, outcome)
+            });
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (2usize..4).generate(&mut rng);
+            assert!((2..4).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec((0.0f64..1.0, 0u64..9), 1..5);
+        let a = strat.generate(&mut crate::TestRng::new(42));
+        let b = strat.generate(&mut crate::TestRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_pipeline_works(
+            xs in prop::collection::vec(-3.0f64..3.0, 2..6),
+            flag in any::<bool>(),
+            k in prop_oneof![1usize..3, 10usize..12],
+        ) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(k < 12);
+            let doubled: Vec<f64> = xs.iter().map(|v| v * 2.0).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            if flag {
+                prop_assert!(xs.iter().all(|v| v.abs() <= 3.0));
+            }
+        }
+    }
+}

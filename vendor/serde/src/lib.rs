@@ -1,0 +1,352 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no crates registry, so this crate
+//! implements the narrow (de)serialization contract the VLP workspace
+//! needs: plain structs with JSON-representable fields, derived via the
+//! companion `serde_derive` stand-in and rendered by the vendored
+//! `serde_json`.
+//!
+//! Instead of real serde's visitor architecture, both traits go through
+//! one concrete intermediate representation, [`Content`] — an owned,
+//! JSON-shaped tree. This costs an intermediate allocation per value
+//! (irrelevant at this workspace's serialization volumes) and buys a
+//! drastically smaller, fully offline implementation whose derive macro
+//! needs no `syn`/`quote`.
+//!
+//! Supported shapes: every primitive the workspace serializes, `String`,
+//! `Option<T>`, `Vec<T>`, fixed-size arrays, tuples up to arity 4, and
+//! `#[derive(Serialize, Deserialize)]` on named-field and tuple structs
+//! (newtypes serialize transparently, as with real serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data model: an owned JSON-shaped tree.
+///
+/// Integers keep their signedness (`I64`/`U64`) so that round-trips of
+/// `usize`/`u64` values above `i64::MAX` stay exact, mirroring
+/// `serde_json`'s arbitrary-precision-free default behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object, in field order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization failure: a human-readable description of the first
+/// mismatch between the data and the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be rendered into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into the intermediate representation.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, reporting the first structural mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when `content` does not have the expected shape.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field by name in a deserialized map and converts
+/// it; used by the derive-generated code.
+///
+/// # Errors
+///
+/// [`DeError`] if the field is missing or its value mismatches `T`.
+pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => Err(DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+// --- impls for primitives -------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => {
+                        return Err(DeError::custom(concat!(
+                            "expected unsigned integer for ",
+                            stringify!($t)
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v).map_err(|_| {
+                        DeError::custom(concat!("integer out of range for ", stringify!($t)))
+                    })?,
+                    _ => {
+                        return Err(DeError::custom(concat!(
+                            "expected integer for ",
+                            stringify!($t)
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            _ => Err(DeError::custom("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::Bool(b) => Ok(b),
+            _ => Err(DeError::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError::custom("expected tuple-length array")),
+                }
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        let s = "héllo\"quote".to_string();
+        assert_eq!(String::from_content(&s.to_content()).unwrap(), s);
+    }
+
+    #[test]
+    fn cross_signedness_integers() {
+        assert_eq!(usize::from_content(&Content::I64(5)).unwrap(), 5);
+        assert!(usize::from_content(&Content::I64(-5)).is_err());
+        assert_eq!(i64::from_content(&Content::U64(5)).unwrap(), 5);
+        assert!(i64::from_content(&Content::U64(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn vec_and_option_round_trip() {
+        let v = vec![1.0f64, 2.5, -3.25];
+        assert_eq!(Vec::<f64>::from_content(&v.to_content()).unwrap(), v);
+        let some = Some(3u32);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::from_content(&some.to_content()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<u32>::from_content(&none.to_content()).unwrap(),
+            none
+        );
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        let err = field::<u64>(&map, "b").unwrap_err();
+        assert!(err.to_string().contains("`b`"));
+    }
+}

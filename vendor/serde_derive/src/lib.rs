@@ -1,0 +1,275 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls targeting
+//! the vendored serde's concrete [`Content`] data model. Because the
+//! build environment has no crates registry, the derive input is parsed
+//! by hand from the raw `proc_macro::TokenStream` instead of through
+//! `syn`.
+//!
+//! Supported inputs — exactly the shapes the VLP workspace derives on:
+//!
+//! * named-field structs (`struct Foo { a: T, b: U }`) → JSON objects
+//!   in field order;
+//! * newtype structs (`struct Id(pub usize)`) → serialized
+//!   transparently as the inner value, like real serde;
+//! * other tuple structs → JSON arrays.
+//!
+//! Enums, unions, and generic structs produce a `compile_error!` so an
+//! unsupported use fails loudly at the derive site rather than
+//! serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Input {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+}
+
+/// Derives `serde::Serialize` for a plain struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` for a plain struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Input) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(parsed) => generate(&parsed),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Rust; this is a bug in the vendored derive")
+}
+
+/// Parses the struct name and field layout out of the derive input.
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Leading attributes (`#[...]`, including doc comments) and
+    // visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) => {
+            return Err(format!(
+                "vendored serde_derive supports only structs, found `{kw}`"
+            ))
+        }
+        other => return Err(format!("unexpected derive input near {other:?}")),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic struct `{name}`"
+            ));
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Named {
+            fields: named_fields(g.stream())?,
+            name,
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input::Tuple {
+            arity: tuple_arity(g.stream()),
+            name,
+        }),
+        other => Err(format!(
+            "unsupported struct body for `{name}` near {other:?}"
+        )),
+    }
+}
+
+/// Extracts field names from a named-field body, skipping per-field
+/// attributes, visibility, and type tokens (commas inside generic types
+/// are recognized by angle-bracket depth).
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, found {tree:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tree in tokens.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-struct body (top-level comma-separated
+/// type segments, tolerating a trailing comma).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tree in body {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                segment_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Named { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Tuple { name, arity } => {
+            let entries: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Seq(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Named { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(map, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Map(map) => \
+                                 ::std::result::Result::Ok(Self {{ {entries} }}),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected map for struct {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok(Self(::serde::Deserialize::from_content(content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Tuple { name, arity } => {
+            let entries: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Seq(items) if items.len() == {arity} => \
+                                 ::std::result::Result::Ok(Self({entries})),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected {arity}-element array for struct {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

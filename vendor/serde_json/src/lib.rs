@@ -1,0 +1,644 @@
+//! Offline vendored stand-in for the `serde_json` crate.
+//!
+//! Implements the subset of the real API the VLP workspace uses, over
+//! the vendored serde's [`Content`] data model:
+//!
+//! * [`Value`] / [`Map`] / [`Number`] with the usual accessors;
+//! * [`from_str`] / [`from_slice`] / [`from_reader`] (full JSON parser:
+//!   escapes, `\u` surrogate pairs, integer-vs-float detection);
+//! * [`to_string`] / [`to_string_pretty`] / [`to_vec`] / [`to_writer`]
+//!   / [`to_writer_pretty`] (floats print their shortest round-trip
+//!   form; non-finite floats print `null`, as in real serde_json);
+//! * the [`json!`] macro. One deliberate restriction: interpolated
+//!   expressions must be a single token tree — wrap anything more
+//!   complex in parentheses, e.g. `json!({"x": (a + b)})`.
+//!
+//! Object keys are kept in sorted order (the real crate's default
+//! BTreeMap behaviour), so serialized output is deterministic — which
+//! the workspace's benchmark artifacts rely on for diffing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+mod de;
+mod ser;
+
+pub use de::parse_content;
+
+/// A JSON number: signed, unsigned, or floating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, PartialEq)]
+enum N {
+    /// Always negative: non-negative integers normalize to `U64` so
+    /// that parsed and constructed numbers compare equal.
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl N {
+    fn from_i64(v: i64) -> N {
+        match u64::try_from(v) {
+            Ok(u) => N::U64(u),
+            Err(_) => N::I64(v),
+        }
+    }
+}
+
+impl Number {
+    /// The value as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            N::I64(v) => v as f64,
+            N::U64(v) => v as f64,
+            N::F64(v) => v,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::I64(v) => u64::try_from(v).ok(),
+            N::U64(v) => Some(v),
+            N::F64(_) => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::I64(v) => Some(v),
+            N::U64(v) => i64::try_from(v).ok(),
+            N::F64(_) => None,
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        Number(N::U64(v))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        Number(N::from_i64(v))
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number(N::F64(v))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::I64(v) => write!(f, "{v}"),
+            N::U64(v) => write!(f, "{v}"),
+            N::F64(v) => f.write_str(&ser::format_f64(v)),
+        }
+    }
+}
+
+/// A JSON object: string keys in sorted order (the real crate's default
+/// `BTreeMap` representation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a key-value pair, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.inner.remove(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.inner.values()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Self {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Member access: `value.get("key")` on objects, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if this is a non-negative integer `Number`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64` if this is an integer `Number`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The map, mutably, if this is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn from_content(content: Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::I64(v) => Value::Number(Number(N::from_i64(v))),
+            Content::U64(v) => Value::Number(Number(N::U64(v))),
+            Content::F64(v) => Value::Number(Number(N::F64(v))),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn to_content_owned(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number(N::I64(v))) => Content::I64(*v),
+            Value::Number(Number(N::U64(v))) => Content::U64(*v),
+            Value::Number(Number(N::F64(v))) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => {
+                Content::Seq(items.iter().map(Value::to_content_owned).collect())
+            }
+            Value::Object(map) => Content::Map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), v.to_content_owned()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Shared `Null` returned when indexing misses, as in the real crate.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]` on objects; `Null` for missing keys or
+    /// non-objects (matching real serde_json's read-only behaviour).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// `value[i]` on arrays; `Null` when out of bounds or not an array.
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.to_content_owned()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Value::from_content(content.clone()))
+    }
+}
+
+impl fmt::Display for Value {
+    /// Prints compact JSON (`{"a":1}`); use [`to_string_pretty`] for
+    /// indented output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&ser::write_value(self, false))
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:expr),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                ($variant)(v)
+            }
+        }
+    )*};
+}
+
+value_from! {
+    bool => Value::Bool,
+    f64 => |v| Value::Number(Number(N::F64(v))),
+    f32 => |v: f32| Value::Number(Number(N::F64(f64::from(v)))),
+    i64 => |v| Value::Number(Number(N::from_i64(v))),
+    i32 => |v: i32| Value::Number(Number(N::from_i64(i64::from(v)))),
+    u64 => |v| Value::Number(Number(N::U64(v))),
+    u32 => |v: u32| Value::Number(Number(N::U64(u64::from(v)))),
+    usize => |v: usize| Value::Number(Number(N::U64(v as u64))),
+    String => Value::String,
+    &str => |v: &str| Value::String(v.to_string()),
+}
+
+/// Error raised by any (de)serialization entry point.
+pub struct Error {
+    kind: ErrorKind,
+}
+
+enum ErrorKind {
+    /// Syntax or shape error, with a 1-based line/column when known.
+    Msg(String, Option<(usize, usize)>),
+    Io(std::io::Error),
+}
+
+impl Error {
+    pub(crate) fn msg(message: impl Into<String>) -> Self {
+        Error {
+            kind: ErrorKind::Msg(message.into(), None),
+        }
+    }
+
+    pub(crate) fn at(message: impl Into<String>, line: usize, col: usize) -> Self {
+        Error {
+            kind: ErrorKind::Msg(message.into(), Some((line, col))),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::Msg(m, Some((line, col))) => {
+                write!(f, "{m} at line {line} column {col}")
+            }
+            ErrorKind::Msg(m, None) => f.write_str(m),
+            ErrorKind::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({self})")
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ErrorKind::Io(e) => Some(e),
+            ErrorKind::Msg(..) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error {
+            kind: ErrorKind::Io(e),
+        }
+    }
+}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::msg(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    Value::from_content(value.to_content())
+}
+
+/// Deserializes `T` from a JSON string.
+///
+/// # Errors
+///
+/// Syntax errors (with position) and shape mismatches as [`Error`].
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = de::parse_content(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserializes `T` from JSON bytes.
+///
+/// # Errors
+///
+/// Invalid UTF-8, syntax errors, and shape mismatches as [`Error`].
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Deserializes `T` from a reader (buffers the whole input first).
+///
+/// # Errors
+///
+/// I/O, UTF-8, syntax, and shape errors as [`Error`].
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    from_slice(&buf)
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the supported data model; the `Result` mirrors the
+/// real crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write_content(&value.to_content(), false))
+}
+
+/// Serializes `value` to an indented JSON string.
+///
+/// # Errors
+///
+/// Never fails for the supported data model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write_content(&value.to_content(), true))
+}
+
+/// Serializes `value` to compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails for the supported data model.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Writes `value` as compact JSON.
+///
+/// # Errors
+///
+/// I/O failures as [`Error`].
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Writes `value` as indented JSON.
+///
+/// # Errors
+///
+/// I/O failures as [`Error`].
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Interpolated Rust expressions must be a single token tree — wrap
+/// anything larger in parentheses: `json!({"sum": (a + b)})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = json!({
+            "name": "vlp",
+            "k": 12,
+            "neg": (-3),
+            "pi": 3.25,
+            "flags": [true, false, null],
+            "nested": {"a": [1.5, 2.5]}
+        });
+        let text = v.to_string();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        // Sorted keys make the output deterministic.
+        assert!(text.find("\"flags\"").unwrap() < text.find("\"k\"").unwrap());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": 1, "b": [2, 3]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_text_round_trips_exactly() {
+        for &x in &[0.1f64, 1.0 / 3.0, 6.02e23, 5e-324, 1.0, -0.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "quote\" slash\\ newline\n tab\t unicode\u{1F600}\u{7}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        let back: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(back, "\u{1F600}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_position() {
+        let err = from_str::<Value>("{\"a\": 1,\n  oops}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let big = u64::MAX;
+        let text = to_string(&big).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, big);
+    }
+}

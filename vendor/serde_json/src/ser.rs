@@ -1,0 +1,111 @@
+//! JSON text emission (compact and 2-space-indented pretty forms).
+
+use serde::Content;
+
+use crate::Value;
+
+/// Shortest round-trip decimal text for a finite `f64`; non-finite
+/// values print `null`, matching real serde_json.
+pub(crate) fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // Rust's `{:?}` for floats is the shortest representation that
+    // parses back to the same bits, and always includes a decimal
+    // point or exponent (`1.0`, `5e-324`), which is valid JSON.
+    format!("{v:?}")
+}
+
+pub(crate) fn write_value(v: &Value, pretty: bool) -> String {
+    write_content(&v.to_content_owned(), pretty)
+}
+
+pub(crate) fn write_content(c: &Content, pretty: bool) -> String {
+    let mut out = String::new();
+    emit(c, pretty, 0, &mut out);
+    out
+}
+
+fn emit(c: &Content, pretty: bool, indent: usize, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&format_f64(*v)),
+        Content::Str(s) => emit_string(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline(indent + 1, out);
+                }
+                emit(item, pretty, indent + 1, out);
+            }
+            if pretty {
+                newline(indent, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    newline(indent + 1, out);
+                }
+                emit_string(key, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                emit(value, pretty, indent + 1, out);
+            }
+            if pretty {
+                newline(indent, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline(indent: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
