@@ -35,6 +35,7 @@ fn main() {
             gap_tol: 0.02,
             seed_decay_columns: seed,
             dual_smoothing: smooth,
+            warm_start: true,
         };
         let t = std::time::Instant::now();
         let (_, obj, diag) = solve_column_generation(&inst.cost, &spec, &opts).expect("cg solves");

@@ -14,7 +14,9 @@
 //! * `--out <path>` — artifact destination (default
 //!   `artifacts/bench_smoke.json`);
 //! * `--check` — run the scenario twice and fail unless all non-timing
-//!   fields (counters, series, run id) are identical across runs.
+//!   fields (counters, series, run id) are identical across runs;
+//! * `--max-pivots <n>` — override the committed pivot budget
+//!   ([`PIVOT_BUDGET`]).
 
 use std::time::Instant;
 
@@ -27,7 +29,14 @@ use vlp_bench::scenarios;
 const SEED: u64 = 20_260_807;
 
 /// Stable run identifier: bump the suffix when the scenario changes.
-const RUN_ID: &str = "bench-smoke-v1";
+const RUN_ID: &str = "bench-smoke-v2";
+
+/// Committed budget for total simplex pivots across the scenario — a
+/// speed-independent regression gate on solver work. The warm-started
+/// CG engine runs the scenario in ~61k pivots (the cold-solve baseline
+/// was ~189k); the budget leaves headroom for benign drift while still
+/// failing loudly if warm starts stop engaging.
+const PIVOT_BUDGET: u64 = 75_000;
 
 /// Runs the fixed scenario against a freshly reset global registry and
 /// returns the resulting telemetry snapshot.
@@ -66,6 +75,17 @@ fn run_pipeline() -> Value {
     );
     let report = sim.run(45);
     obs.incr("bench_smoke.assigned_tasks", report.assigned_tasks as u64);
+
+    // Warm-start hit rate across every LP solved above (counters are
+    // deterministic, so this series survives the --check gate).
+    let warm = obs.counter(lpsolve::metrics::WARM_RESOLVES);
+    let cold = obs.counter(lpsolve::metrics::WARM_COLD_SOLVES);
+    if warm + cold > 0 {
+        obs.push(
+            "bench_smoke.warm_hit_rate",
+            warm as f64 / (warm + cold) as f64,
+        );
+    }
 
     obs.record_duration("bench_smoke.total", total.elapsed());
     obs.snapshot()
@@ -120,13 +140,23 @@ fn check_signals(snapshot: &Value) -> Result<(), String> {
 fn main() {
     let mut out = String::from("artifacts/bench_smoke.json");
     let mut check = false;
+    let mut max_pivots = PIVOT_BUDGET;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--check" => check = true,
             "--out" => out = argv.next().expect("--out needs a path"),
+            "--max-pivots" => {
+                max_pivots = argv
+                    .next()
+                    .expect("--max-pivots needs a count")
+                    .parse()
+                    .expect("--max-pivots needs an integer")
+            }
             other => {
-                eprintln!("unknown flag `{other}` (expected --check or --out <path>)");
+                eprintln!(
+                    "unknown flag `{other}` (expected --check, --out <path>, or --max-pivots <n>)"
+                );
                 std::process::exit(2);
             }
         }
@@ -171,14 +201,26 @@ fn main() {
     let pivots = snapshot["counters"][lpsolve::metrics::PIVOTS]
         .as_u64()
         .unwrap();
+    if pivots > max_pivots {
+        eprintln!(
+            "bench_smoke: FAIL — {pivots} simplex pivots exceed the budget of {max_pivots} \
+             (warm starts regressed?)"
+        );
+        std::process::exit(1);
+    }
     let solves = snapshot["counters"][lpsolve::metrics::SOLVES]
         .as_u64()
         .unwrap_or(0);
+    let warm_rate = snapshot["series"]["bench_smoke.warm_hit_rate"][0]
+        .as_f64()
+        .unwrap_or(0.0);
     let total_ns = snapshot["timers"]["bench_smoke.total"]["total_ns"]
         .as_u64()
         .unwrap();
     println!(
-        "bench_smoke: OK — {solves} LP solves, {pivots} pivots, {:.2}s end-to-end → {out}",
+        "bench_smoke: OK — {solves} LP solves, {pivots} pivots (budget {max_pivots}), \
+         {:.1}% warm, {:.2}s end-to-end → {out}",
+        warm_rate * 100.0,
         total_ns as f64 / 1e9
     );
 }

@@ -21,10 +21,24 @@
 //! bounded amount of optimality for a large reduction in iterations
 //! (Fig. 13(c)(d)); each iteration also yields the dual lower bound of
 //! Theorem 4.4, reported in [`CgDiagnostics`].
+//!
+//! # Warm-started solver state
+//!
+//! The LP structure barely changes across iterations: every pricing
+//! polytope `Λ_l` is *fixed* (only the objective `c_l − π` moves), and
+//! the restricted master only ever *gains* columns. With
+//! `warm_start: true` (the default) the loop therefore holds one
+//! persistent [`IncrementalLp`] per pricing block plus one for the
+//! master: pricing resolves re-price the previous optimal basis
+//! instead of re-pivoting from the slack basis, and master resolves
+//! skip phase 1 entirely after the first solve (appended columns enter
+//! non-basic, so the old basis stays feasible). `warm_start: false`
+//! falls back to building a fresh [`LinearProgram`] per solve — the
+//! cold baseline the pivot-budget benchmarks compare against.
 
 use std::time::{Duration, Instant};
 
-use lpsolve::{LinearProgram, Relation};
+use lpsolve::{ColumnSpec, IncrementalLp, LinearProgram, Relation, ResolveStats};
 
 /// Telemetry metric names recorded by this module into
 /// [`vlp_obs::global`]; per-iteration histories land in series, time
@@ -36,6 +50,13 @@ pub mod metrics {
     pub const ITERATIONS: &str = "cg.iterations";
     /// Counter: columns added across all runs.
     pub const COLUMNS_ADDED: &str = "cg.columns_added";
+    /// Counter: simplex pivots spent in restricted-master resolves
+    /// (warm engine only; the cold path's pivots are visible in
+    /// `lpsolve.simplex.pivots`).
+    pub const MASTER_PIVOTS: &str = "cg.master_pivots";
+    /// Counter: simplex pivots spent in pricing resolves (warm engine
+    /// only).
+    pub const PRICING_PIVOTS: &str = "cg.pricing_pivots";
     /// Series: restricted-master objective after each master solve.
     pub const MASTER_OBJECTIVE: &str = "cg.master_objective";
     /// Series: dual lower bound ω (Theorem 4.4) after each iteration.
@@ -50,6 +71,11 @@ pub mod metrics {
     pub const MASTER_TIME: &str = "cg.master";
     /// Timer: cumulative pricing share of each run.
     pub const PRICING_TIME: &str = "cg.pricing";
+    /// Timer: cumulative time inside warm-started LP resolves.
+    pub const WARM_TIME: &str = "cg.warm";
+    /// Timer: cumulative time inside cold LP solves of the warm engine
+    /// (first solves and numerical fallbacks).
+    pub const COLD_TIME: &str = "cg.cold";
 }
 
 use crate::cost::CostMatrix;
@@ -83,6 +109,11 @@ pub struct CgOptions {
     /// Price at Wentges-smoothed duals instead of the raw master duals.
     /// Disable only for ablation studies.
     pub dual_smoothing: bool,
+    /// Reuse solver state across iterations (persistent
+    /// [`IncrementalLp`] per pricing block and for the master) instead
+    /// of rebuilding every LP from scratch. Disable to get the cold
+    /// per-iteration solves as a baseline.
+    pub warm_start: bool,
 }
 
 impl Default for CgOptions {
@@ -94,6 +125,7 @@ impl Default for CgOptions {
             gap_tol: 0.01,
             seed_decay_columns: true,
             dual_smoothing: true,
+            warm_start: true,
         }
     }
 }
@@ -120,6 +152,21 @@ pub struct CgDiagnostics {
     pub pricing_time: Duration,
     /// Number of threads the pricing fan-out used.
     pub threads: usize,
+    /// Simplex pivots spent in master resolves (warm engine only; zero
+    /// when `warm_start` is off — the cold path's pivots are tracked
+    /// globally in `lpsolve.simplex.pivots`).
+    pub master_pivots: u64,
+    /// Simplex pivots spent in pricing resolves (warm engine only).
+    pub pricing_pivots: u64,
+    /// Warm-engine resolves that reused a previous basis.
+    pub lp_warm_resolves: u64,
+    /// Warm-engine resolves that ran cold (first solves of each
+    /// persistent solver, plus any numerical fallbacks).
+    pub lp_cold_solves: u64,
+    /// Wall-clock time inside warm resolves.
+    pub lp_warm_time: Duration,
+    /// Wall-clock time inside the warm engine's cold solves.
+    pub lp_cold_time: Duration,
 }
 
 impl CgDiagnostics {
@@ -132,12 +179,41 @@ impl CgDiagnostics {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
+    /// Fraction of warm-engine resolves that reused a basis
+    /// (`NaN`-free: returns 0 when the warm engine never ran).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.lp_warm_resolves + self.lp_cold_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.lp_warm_resolves as f64 / total as f64
+        }
+    }
+
+    /// Folds one warm-engine resolve into the tallies.
+    fn absorb(&mut self, stats: &ResolveStats, master: bool) {
+        if master {
+            self.master_pivots += stats.pivots;
+        } else {
+            self.pricing_pivots += stats.pivots;
+        }
+        if stats.warm {
+            self.lp_warm_resolves += 1;
+            self.lp_warm_time += stats.duration;
+        } else {
+            self.lp_cold_solves += 1;
+            self.lp_cold_time += stats.duration;
+        }
+    }
+
     /// Mirrors this run into the global telemetry registry.
     fn flush(&self) {
         let reg = vlp_obs::global();
         reg.incr(metrics::SOLVES, 1);
         reg.incr(metrics::ITERATIONS, self.iterations as u64);
         reg.incr(metrics::COLUMNS_ADDED, self.columns_added as u64);
+        reg.incr(metrics::MASTER_PIVOTS, self.master_pivots);
+        reg.incr(metrics::PRICING_PIVOTS, self.pricing_pivots);
         reg.extend(metrics::MASTER_OBJECTIVE, &self.master_objective_history);
         reg.extend(metrics::DUAL_BOUND, &self.dual_bound_history);
         reg.extend(metrics::MIN_ZETA, &self.min_zeta_history);
@@ -145,6 +221,8 @@ impl CgDiagnostics {
         reg.record_duration(metrics::SOLVE_TIME, self.wall_time);
         reg.record_duration(metrics::MASTER_TIME, self.master_time);
         reg.record_duration(metrics::PRICING_TIME, self.pricing_time);
+        reg.record_duration(metrics::WARM_TIME, self.lp_warm_time);
+        reg.record_duration(metrics::COLD_TIME, self.lp_cold_time);
     }
 }
 
@@ -155,6 +233,53 @@ struct Column {
     z: Vec<f64>,
     /// Objective contribution `Σ_i c_{i,l} ẑ_i`.
     cost: f64,
+}
+
+/// The master's column pool plus its per-block index: `by_block[l]`
+/// holds the ids (positions in `columns`) of every column of block
+/// `l`, so duplicate checks and convexity rows only touch the owning
+/// block instead of scanning the whole pool.
+#[derive(Debug, Default)]
+struct ColumnPool {
+    columns: Vec<Column>,
+    by_block: Vec<Vec<usize>>,
+}
+
+impl ColumnPool {
+    fn new(k: usize) -> Self {
+        Self {
+            columns: Vec::new(),
+            by_block: vec![Vec::new(); k],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn push(&mut self, col: Column) {
+        self.by_block[col.l].push(self.columns.len());
+        self.columns.push(col);
+    }
+
+    /// Whether `z` duplicates an existing column of block `l` (within
+    /// round-off). Re-adding identical columns bloats the master
+    /// without changing its optimum — a hazard when the master is
+    /// degenerate and pricing keeps rediscovering the same vertex.
+    /// Only block `l`'s own columns are scanned.
+    fn is_duplicate(&self, l: usize, z: &[f64]) -> bool {
+        // The tolerance is deliberately coarse: *near*-duplicate
+        // columns are as dangerous as exact ones — two of them in a
+        // basis make the master matrix near-singular and its
+        // "solutions" numerically infeasible.
+        self.by_block[l].iter().any(|&t| {
+            self.columns[t]
+                .z
+                .iter()
+                .zip(z)
+                .all(|(a, b)| (a - b).abs() <= 1e-6)
+        })
+    }
 }
 
 /// Solves D-VLP by column generation.
@@ -185,6 +310,7 @@ pub fn solve_column_generation(
             });
         }
     }
+    let threads = pricing_threads(k, opts.parallel);
 
     // Initial restricted master. Two families of provably feasible
     // columns seed every block:
@@ -202,51 +328,54 @@ pub fn solve_column_generation(
     //   for dozens of iterations while priced columns enter at zero
     //   step.
     let uniform = vec![1.0 / k as f64; k];
-    let mut columns: Vec<Column> = (0..k)
-        .map(|l| Column {
+    let mut pool = ColumnPool::new(k);
+    for l in 0..k {
+        pool.push(Column {
             l,
             cost: column_cost(cost, l, &uniform),
             z: uniform.clone(),
-        })
-        .collect();
+        });
+    }
     if opts.seed_decay_columns {
-        let chain = chain_distances(k, spec);
-        for beta_frac in [1.0, 0.5, 0.25] {
-            let beta = spec.epsilon * beta_frac;
-            for l in 0..k {
-                let z: Vec<f64> = (0..k)
-                    .map(|i| {
-                        let d = chain[i * k + l];
-                        if d.is_finite() {
-                            (-beta * d).exp().max(FLOOR)
-                        } else {
-                            FLOOR
-                        }
-                    })
-                    .collect();
-                if !is_duplicate(&columns, l, &z) {
-                    columns.push(Column {
-                        l,
-                        cost: column_cost(cost, l, &z),
-                        z,
-                    });
-                }
+        let chain = chain_distances(k, spec, threads);
+        // Candidate construction is embarrassingly parallel (each
+        // candidate is a pure function of `chain` and `cost`); only the
+        // order-dependent dedup below stays sequential, so the seeded
+        // pool is identical for any thread count.
+        let betas: Vec<f64> = [1.0, 0.5, 0.25].iter().map(|f| spec.epsilon * f).collect();
+        let candidates = seed_candidates(cost, k, &chain, &betas, threads);
+        for (idx, (z, col_cost)) in candidates.into_iter().enumerate() {
+            let l = idx % k;
+            if !pool.is_duplicate(l, &z) {
+                pool.push(Column {
+                    l,
+                    cost: col_cost,
+                    z,
+                });
             }
         }
     }
 
     let mut diag = CgDiagnostics::default();
+    // Persistent warm solvers: one master, one per pricing block (the
+    // block solvers share a template so the constraint assembly cost is
+    // paid once). `None` entries materialize lazily on first use.
+    let mut warm_master: Option<IncrementalLp> = None;
+    let mut pricers: Option<BlockPricers> = opts
+        .warm_start
+        .then(|| BlockPricers::build(k, spec))
+        .transpose()?;
     // Fallback iterate: λ = 1 on each block's uniform column (always
     // feasible) until a master solve succeeds.
     let mut last_lambda: Vec<f64> = {
-        let mut l = vec![0.0; columns.len()];
+        let mut l = vec![0.0; pool.len()];
         for slot in l.iter_mut().take(k) {
             *slot = 1.0;
         }
         l
     };
-    let mut last_columns = columns.len();
-    let mut master_obj = columns[..k].iter().map(|c| c.cost).sum::<f64>();
+    let mut last_columns = pool.len();
+    let mut master_obj = pool.columns[..k].iter().map(|c| c.cost).sum::<f64>();
     let debug = std::env::var_os("VLP_CG_DEBUG").is_some();
     // Stall detection: degenerate masters can accept improving columns
     // at zero step length, leaving the objective flat while pricing
@@ -275,7 +404,7 @@ pub fn solve_column_generation(
             eprintln!(
                 "[cg] iter {} solving master with {} columns",
                 diag.iterations + 1,
-                columns.len()
+                pool.len()
             );
         }
         // Validate the master solution: with near-singular bases
@@ -285,7 +414,17 @@ pub fn solve_column_generation(
         // iterate is useless for duals and reconstruction alike — stop
         // and fall back to the last healthy one.
         let master_started = Instant::now();
-        let master_result = solve_master(k, &columns);
+        let master_result = if opts.warm_start {
+            let lp = match warm_master.as_mut() {
+                Some(lp) => lp,
+                None => warm_master.insert(build_master(k, &pool)?),
+            };
+            let r = lp.resolve().map_err(VlpError::from);
+            diag.absorb(&lp.last_stats(), true);
+            r
+        } else {
+            solve_master_cold(k, &pool)
+        };
         diag.master_time += master_started.elapsed();
         let sol = match master_result {
             Ok(s) => s,
@@ -303,7 +442,8 @@ pub fn solve_column_generation(
         let coupling_dev = {
             let mut worst = 0.0f64;
             for row in 0..k {
-                let sum: f64 = columns
+                let sum: f64 = pool
+                    .columns
                     .iter()
                     .zip(&sol.x)
                     .map(|(c, &l)| c.z[row] * l.max(0.0))
@@ -325,13 +465,14 @@ pub fn solve_column_generation(
         let pi = &sol.duals[0..k];
         let mu = &sol.duals[k..2 * k];
         last_lambda = sol.x.clone();
-        last_columns = columns.len();
+        last_columns = pool.len();
         diag.master_objective_history.push(master_obj);
         diag.iterations += 1;
 
         // --- Pricing subproblems sub_1 … sub_K (parallel) ---
         if debug {
-            let min_rc = columns
+            let min_rc = pool
+                .columns
                 .iter()
                 .map(|c| c.cost - pi.iter().zip(&c.z).map(|(p, z)| p * z).sum::<f64>() - mu[c.l])
                 .fold(f64::INFINITY, f64::min);
@@ -357,13 +498,18 @@ pub fn solve_column_generation(
                     .collect(),
                 _ => pi.to_vec(),
             };
-            let priced = price_all(cost, spec, &pihat, opts.parallel)?;
+            let priced = price_all(cost, spec, &pihat, threads, pricers.as_mut())?;
+            for (_, _, stats) in &priced {
+                if let Some(stats) = stats {
+                    diag.absorb(stats, false);
+                }
+            }
             // Lagrangian bound at the pricing point (Theorem 4.4):
             // L(π̂) = Σ_k π̂_k + Σ_l min_{z ∈ Λ_l} (c_l − π̂)·z.
-            lagrangian = pihat.iter().sum::<f64>() + priced.iter().map(|(s, _)| s).sum::<f64>();
+            lagrangian = pihat.iter().sum::<f64>() + priced.iter().map(|(s, _, _)| s).sum::<f64>();
             min_zeta = f64::INFINITY;
             new_columns = Vec::new();
-            for (l, (sub_obj, z)) in priced.into_iter().enumerate() {
+            for (l, (sub_obj, z, _)) in priced.into_iter().enumerate() {
                 // ζ_l: reduced cost of the found vertex against the
                 // *master* duals — the quantity Proposition 4.3 tests.
                 let zeta_master: f64 = column_cost(cost, l, &z)
@@ -374,7 +520,7 @@ pub fn solve_column_generation(
                 if zeta < min_zeta {
                     min_zeta = zeta;
                 }
-                if zeta_master < opts.xi.min(-1e-9) && !is_duplicate(&columns, l, &z) {
+                if zeta_master < opts.xi.min(-1e-9) && !pool.is_duplicate(l, &z) {
                     let c = column_cost(cost, l, &z);
                     new_columns.push(Column { l, z, cost: c });
                 }
@@ -420,16 +566,28 @@ pub fn solve_column_generation(
             break;
         }
         diag.columns_added += new_columns.len();
-        columns.extend(new_columns);
+        if let Some(lp) = warm_master.as_mut() {
+            // Dual-feasible warm start: append the new columns to the
+            // live master; the old basis stays primal-feasible and the
+            // next resolve only has to price them in.
+            let specs: Vec<ColumnSpec> = new_columns
+                .iter()
+                .map(|col| master_column_spec(k, col))
+                .collect();
+            lp.add_columns(&specs)?;
+        }
+        for col in new_columns {
+            pool.push(col);
+        }
     }
     diag.wall_time = start.elapsed();
-    diag.threads = pricing_threads(k, opts.parallel);
+    diag.threads = threads;
     diag.flush();
 
     // Reconstruct Z from the last master solution:
     // z_{i,l} = Σ_t λ_{l,t} ẑ^t_{i,l}.
     let mut z = vec![0.0; k * k];
-    for (col, &lambda) in columns[..last_columns].iter().zip(&last_lambda) {
+    for (col, &lambda) in pool.columns[..last_columns].iter().zip(&last_lambda) {
         if lambda <= 0.0 {
             continue;
         }
@@ -441,12 +599,15 @@ pub fn solve_column_generation(
     Ok((mech, master_obj, diag))
 }
 
-/// All-pairs shortest-path distances over the privacy-constraint graph:
-/// `D(i, j)` is the tightest chained Geo-I exponent between intervals
-/// `i` and `j` (`∞` when no chain connects them). A constraint
-/// `z_a ≤ e^{ε·d} z_b` contributes the edge `b → a` with weight `d`;
-/// `D(·, j)` is one reverse Dijkstra per target `j`.
-fn chain_distances(k: usize, spec: &PrivacySpec) -> Vec<f64> {
+/// All-pairs shortest-path distances over the privacy-constraint graph,
+/// stored target-major: `out[j*k + i] = D(i, j)`, the tightest chained
+/// Geo-I exponent between intervals `i` and `j` (`∞` when no chain
+/// connects them). A constraint `z_a ≤ e^{ε·d} z_b` contributes the
+/// edge `b → a` with weight `d`; `D(·, j)` is one reverse Dijkstra per
+/// target `j`. Targets are independent, so they fan out across
+/// `threads` workers (each with its own distance/heap scratch); the
+/// per-target float operations are identical for any thread count.
+fn chain_distances(k: usize, spec: &PrivacySpec, threads: usize) -> Vec<f64> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
     // Reverse adjacency: paths *towards* each target.
@@ -454,30 +615,88 @@ fn chain_distances(k: usize, spec: &PrivacySpec) -> Vec<f64> {
     for c in &spec.constraints {
         adj[c.i].push((c.l, c.dist));
     }
+    let adj = &adj;
     let mut out = vec![f64::INFINITY; k * k];
-    let mut dist = vec![f64::INFINITY; k];
-    for j in 0..k {
-        dist.iter_mut().for_each(|d| *d = f64::INFINITY);
-        let mut heap = BinaryHeap::new();
-        dist[j] = 0.0;
-        heap.push(Reverse((OrderedF64(0.0), j)));
-        while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
-            if d > dist[v] + 1e-15 {
-                continue;
-            }
-            for &(w, len) in &adj[v] {
-                let nd = d + len;
-                if nd < dist[w] - 1e-15 {
-                    dist[w] = nd;
-                    heap.push(Reverse((OrderedF64(nd), w)));
+    let chunk = k.div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, slice) in out.chunks_mut(chunk * k).enumerate() {
+            let lo = t * chunk;
+            handles.push(scope.spawn(move || {
+                let mut dist = vec![f64::INFINITY; k];
+                let mut heap = BinaryHeap::new();
+                for (off, row) in slice.chunks_mut(k).enumerate() {
+                    let j = lo + off;
+                    dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+                    dist[j] = 0.0;
+                    heap.push(Reverse((OrderedF64(0.0), j)));
+                    while let Some(Reverse((OrderedF64(d), v))) = heap.pop() {
+                        if d > dist[v] + 1e-15 {
+                            continue;
+                        }
+                        for &(w, len) in &adj[v] {
+                            let nd = d + len;
+                            if nd < dist[w] - 1e-15 {
+                                dist[w] = nd;
+                                heap.push(Reverse((OrderedF64(nd), w)));
+                            }
+                        }
+                    }
+                    row.copy_from_slice(&dist);
                 }
-            }
+            }));
         }
-        for i in 0..k {
-            out[i * k + j] = dist[i];
+        for h in handles {
+            h.join().expect("chain-distance thread panicked");
         }
-    }
+    });
     out
+}
+
+/// Builds the `betas.len() × k` decay-column candidates
+/// `z_i = e^{−β·D(i, l)}` (slot `b*k + l`), each with its objective
+/// cost, fanning the pure per-candidate computation across `threads`.
+fn seed_candidates(
+    cost: &CostMatrix,
+    k: usize,
+    chain: &[f64],
+    betas: &[f64],
+    threads: usize,
+) -> Vec<(Vec<f64>, f64)> {
+    let n = betas.len() * k;
+    let mut out: Vec<Option<(Vec<f64>, f64)>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let lo = t * chunk;
+            handles.push(scope.spawn(move || {
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    let idx = lo + off;
+                    let beta = betas[idx / k];
+                    let l = idx % k;
+                    let z: Vec<f64> = (0..k)
+                        .map(|i| {
+                            let d = chain[l * k + i];
+                            if d.is_finite() {
+                                (-beta * d).exp().max(FLOOR)
+                            } else {
+                                FLOOR
+                            }
+                        })
+                        .collect();
+                    let c = column_cost(cost, l, &z);
+                    *slot = Some((z, c));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("seed-candidate thread panicked");
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("every candidate built"))
+        .collect()
 }
 
 /// Total-order wrapper for non-NaN floats in the Dijkstra heap.
@@ -491,65 +710,84 @@ impl Ord for OrderedF64 {
     }
 }
 
-/// Whether `z` duplicates an existing column of block `l` (within
-/// round-off). Re-adding identical columns bloats the master without
-/// changing its optimum — a hazard when the master is degenerate and
-/// pricing keeps rediscovering the same vertex.
-fn is_duplicate(columns: &[Column], l: usize, z: &[f64]) -> bool {
-    // The tolerance is deliberately coarse: *near*-duplicate columns
-    // are as dangerous as exact ones — two of them in a basis make the
-    // master matrix near-singular and its "solutions" numerically
-    // infeasible.
-    columns
-        .iter()
-        .any(|c| c.l == l && c.z.iter().zip(z).all(|(a, b)| (a - b).abs() <= 1e-6))
-}
-
 /// Objective coefficient of a column: `Σ_i c_{i,l} ẑ_i`.
 fn column_cost(cost: &CostMatrix, l: usize, z: &[f64]) -> f64 {
     z.iter().enumerate().map(|(i, &v)| cost.get(i, l) * v).sum()
 }
 
-/// Solves the restricted master and returns its LP solution:
-/// variables λ in column order, duals `[π (K rows); μ (K rows)]`.
-fn solve_master(k: usize, columns: &[Column]) -> Result<lpsolve::Solution, VlpError> {
-    let mut lp = LinearProgram::new(columns.len());
-    let obj: Vec<(usize, f64)> = columns
+/// The master-row footprint of one column: its `k` coupling entries
+/// plus the convexity entry of its block.
+fn master_column_spec(k: usize, col: &Column) -> ColumnSpec {
+    let mut entries: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+    for (row, &v) in col.z.iter().enumerate() {
+        if v.abs() > 1e-15 {
+            entries.push((row, v));
+        }
+    }
+    entries.push((k + col.l, 1.0));
+    ColumnSpec {
+        cost: col.cost,
+        entries,
+    }
+}
+
+/// Master constraint rows, built in one pass over the column pool:
+/// coupling rows `Σ λ_t ẑ^t_{row} = 1` from the columns themselves and
+/// convexity rows `Σ_{t ∈ block l} λ_t = 1` straight from the per-block
+/// index.
+fn master_rows(k: usize, pool: &ColumnPool) -> Vec<Vec<(usize, f64)>> {
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 2 * k];
+    for (t, c) in pool.columns.iter().enumerate() {
+        for (row, &v) in c.z.iter().enumerate() {
+            if v.abs() > 1e-15 {
+                rows[row].push((t, v));
+            }
+        }
+    }
+    for (l, members) in pool.by_block.iter().enumerate() {
+        rows[k + l] = members.iter().map(|&t| (t, 1.0)).collect();
+    }
+    rows
+}
+
+/// Builds the warm-startable restricted master over the current pool.
+fn build_master(k: usize, pool: &ColumnPool) -> Result<IncrementalLp, VlpError> {
+    let mut lp = IncrementalLp::new(pool.len());
+    let obj: Vec<(usize, f64)> = pool
+        .columns
         .iter()
         .enumerate()
         .map(|(t, c)| (t, c.cost))
         .collect();
     lp.set_objective(&obj)?;
-    // Coupling rows: Σ_{l,t} λ_{l,t} ẑ^t_{k,l} = 1 for every true
-    // interval row k.
-    for row in 0..k {
-        let coeffs: Vec<(usize, f64)> = columns
-            .iter()
-            .enumerate()
-            .filter_map(|(t, c)| {
-                let v = c.z[row];
-                (v.abs() > 1e-15).then_some((t, v))
-            })
-            .collect();
-        lp.add_constraint(&coeffs, Relation::Eq, 1.0)?;
+    for row in master_rows(k, pool) {
+        lp.add_constraint(&row, Relation::Eq, 1.0)?;
     }
-    // Convexity rows: Σ_t λ_{l,t} = 1 per block l.
-    for l in 0..k {
-        let coeffs: Vec<(usize, f64)> = columns
-            .iter()
-            .enumerate()
-            .filter_map(|(t, c)| (c.l == l).then_some((t, 1.0)))
-            .collect();
-        lp.add_constraint(&coeffs, Relation::Eq, 1.0)?;
+    Ok(lp)
+}
+
+/// Solves the restricted master from scratch (`warm_start: false`
+/// baseline) and returns its LP solution: variables λ in column order,
+/// duals `[π (K rows); μ (K rows)]`.
+fn solve_master_cold(k: usize, pool: &ColumnPool) -> Result<lpsolve::Solution, VlpError> {
+    let mut lp = LinearProgram::new(pool.len());
+    let obj: Vec<(usize, f64)> = pool
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(t, c)| (t, c.cost))
+        .collect();
+    lp.set_objective(&obj)?;
+    for row in master_rows(k, pool) {
+        lp.add_constraint(&row, Relation::Eq, 1.0)?;
     }
     Ok(lp.solve()?)
 }
 
-/// A priced block: the subproblem's optimal value and its arg-min.
-type PricedBlock = (f64, Vec<f64>);
+/// A priced block: the subproblem's optimal value, its arg-min, and —
+/// on the warm path — the resolve statistics.
+type PricedBlock = (f64, Vec<f64>, Option<ResolveStats>);
 
-/// Solves all `K` pricing subproblems, returning per block the optimal
-/// value of `min (c_l − π)·z over Λ_l` and its arg-min.
 /// Number of worker threads the pricing fan-out will use for a
 /// `K`-block instance.
 fn pricing_threads(k: usize, parallel: bool) -> usize {
@@ -563,37 +801,119 @@ fn pricing_threads(k: usize, parallel: bool) -> usize {
     }
 }
 
+/// Persistent pricing solvers, one per block. Every block shares the
+/// same constraint matrix (only the objective `c_l − π` differs), so a
+/// single never-solved template is assembled once and cloned into a
+/// block's slot on first use; thereafter the block's solver re-prices
+/// its own previous optimal basis each round. Block `l` always lives in
+/// slot `l`, so results are independent of how blocks are distributed
+/// over threads.
+struct BlockPricers {
+    template: IncrementalLp,
+    slots: Vec<Option<IncrementalLp>>,
+}
+
+impl BlockPricers {
+    fn build(k: usize, spec: &PrivacySpec) -> Result<Self, VlpError> {
+        let mut template = IncrementalLp::new(k);
+        for c in &spec.constraints {
+            // z_i − α z_k ≤ 0 with z = y + FLOOR:
+            // y_i − α y_k ≤ (α − 1)·FLOOR.
+            let bound = spec.bound(c);
+            template.add_constraint(
+                &[(c.i, 1.0), (c.l, -bound)],
+                Relation::Le,
+                (bound - 1.0) * FLOOR,
+            )?;
+        }
+        // Box bound making the region a polytope (valid: probabilities
+        // ≤ 1).
+        for i in 0..k {
+            template.add_constraint(&[(i, 1.0)], Relation::Le, 1.0 - FLOOR)?;
+        }
+        Ok(Self {
+            template,
+            slots: (0..k).map(|_| None).collect(),
+        })
+    }
+}
+
+/// Solves all `K` pricing subproblems, returning per block the optimal
+/// value of `min (c_l − π)·z over Λ_l` and its arg-min. With `pricers`
+/// the persistent warm solvers are used (and updated); without, each
+/// block is a fresh cold [`LinearProgram`].
 fn price_all(
     cost: &CostMatrix,
     spec: &PrivacySpec,
     pi: &[f64],
-    parallel: bool,
+    threads: usize,
+    pricers: Option<&mut BlockPricers>,
 ) -> Result<Vec<PricedBlock>, VlpError> {
     let k = cost.len();
-    let threads = pricing_threads(k, parallel);
-    if threads <= 1 {
-        return (0..k).map(|l| price_one(cost, spec, pi, l)).collect();
-    }
-    let mut results: Vec<Option<Result<PricedBlock, VlpError>>> = (0..k).map(|_| None).collect();
-    let chunk = k.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
-            let lo = t * chunk;
-            handles.push(scope.spawn(move || {
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(price_one(cost, spec, pi, lo + off));
+    match pricers {
+        Some(pricers) => {
+            let template = &pricers.template;
+            if threads <= 1 {
+                return pricers
+                    .slots
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(l, slot)| price_one_warm(cost, pi, l, slot, template))
+                    .collect();
+            }
+            let mut results: Vec<Option<Result<PricedBlock, VlpError>>> =
+                (0..k).map(|_| None).collect();
+            let chunk = k.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (t, (out, slots)) in results
+                    .chunks_mut(chunk)
+                    .zip(pricers.slots.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    let lo = t * chunk;
+                    handles.push(scope.spawn(move || {
+                        for (off, (res, slot)) in out.iter_mut().zip(slots.iter_mut()).enumerate() {
+                            *res = Some(price_one_warm(cost, pi, lo + off, slot, template));
+                        }
+                    }));
                 }
-            }));
+                for h in handles {
+                    h.join().expect("pricing thread panicked");
+                }
+            });
+            results
+                .into_iter()
+                .map(|r| r.expect("every block priced"))
+                .collect()
         }
-        for h in handles {
-            h.join().expect("pricing thread panicked");
+        None => {
+            if threads <= 1 {
+                return (0..k).map(|l| price_one(cost, spec, pi, l)).collect();
+            }
+            let mut results: Vec<Option<Result<PricedBlock, VlpError>>> =
+                (0..k).map(|_| None).collect();
+            let chunk = k.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (t, slice) in results.chunks_mut(chunk).enumerate() {
+                    let lo = t * chunk;
+                    handles.push(scope.spawn(move || {
+                        for (off, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(price_one(cost, spec, pi, lo + off));
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("pricing thread panicked");
+                }
+            });
+            results
+                .into_iter()
+                .map(|r| r.expect("every block priced"))
+                .collect()
         }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every block priced"))
-        .collect()
+    }
 }
 
 /// Numerical floor applied to subproblem variables: pricing searches
@@ -608,9 +928,14 @@ fn price_all(
 /// optimality cost of at most `K · max(c) · FLOOR` (≈ 1e−4 km at the
 /// scales used here). The truncated polytope is a subset of `Λ_l`, so
 /// the returned mechanism still satisfies Geo-I exactly.
+///
+/// The floor also matters for warm starts: with every right-hand side
+/// strictly positive, the slack basis is primal-feasible and
+/// non-degenerate, so pricing subproblems never need artificial
+/// variables — objective swaps can always reuse the previous basis.
 const FLOOR: f64 = 1e-6;
 
-/// Solves one pricing subproblem `sub_l`:
+/// Solves one pricing subproblem `sub_l` cold:
 /// `min (c_l − π)·z` over `Λ_l ∩ {z ≥ FLOOR}` (see [`FLOOR`]).
 ///
 /// Internally substitutes `y = z − FLOOR ≥ 0`, which turns every
@@ -644,7 +969,28 @@ fn price_one(
     let sol = lp.solve()?;
     let z: Vec<f64> = sol.x.iter().map(|y| y + FLOOR).collect();
     let shift: f64 = w.iter().sum::<f64>() * FLOOR;
-    Ok((sol.objective + shift, z))
+    Ok((sol.objective + shift, z, None))
+}
+
+/// Solves one pricing subproblem against the block's persistent solver
+/// (cloned from `template` on first use): swap the objective in, then
+/// re-price from the previous optimal basis.
+fn price_one_warm(
+    cost: &CostMatrix,
+    pi: &[f64],
+    l: usize,
+    slot: &mut Option<IncrementalLp>,
+    template: &IncrementalLp,
+) -> Result<PricedBlock, VlpError> {
+    let k = cost.len();
+    let solver = slot.get_or_insert_with(|| template.clone());
+    let w: Vec<f64> = (0..k).map(|i| cost.get(i, l) - pi[i]).collect();
+    let obj: Vec<(usize, f64)> = w.iter().copied().enumerate().collect();
+    solver.set_objective(&obj)?;
+    let sol = solver.resolve()?;
+    let z: Vec<f64> = sol.x.iter().map(|y| y + FLOOR).collect();
+    let shift: f64 = w.iter().sum::<f64>() * FLOOR;
+    Ok((sol.objective + shift, z, Some(solver.last_stats())))
 }
 
 #[cfg(test)]
@@ -705,6 +1051,76 @@ mod tests {
         let (_, o1, _) = solve_column_generation(&cost, &spec, &serial).unwrap();
         let (_, o2, _) = solve_column_generation(&cost, &spec, &par).unwrap();
         assert!((o1 - o2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cg_warm_matches_cold() {
+        // The warm engine must not change what CG computes, only how
+        // fast: identical mechanisms (bit-for-bit) and objective, with
+        // the warm run actually reusing bases.
+        let (aux, cost) = instance(0.5);
+        let spec = reduced_spec(&aux, 2.0, f64::INFINITY);
+        let cold = CgOptions {
+            warm_start: false,
+            parallel: false,
+            ..CgOptions::default()
+        };
+        let warm = CgOptions {
+            warm_start: true,
+            parallel: false,
+            ..CgOptions::default()
+        };
+        let (m1, o1, d1) = solve_column_generation(&cost, &spec, &cold).unwrap();
+        let (m2, o2, d2) = solve_column_generation(&cost, &spec, &warm).unwrap();
+        assert!(
+            (o1 - o2).abs() <= 1e-9 * o1.abs().max(1.0),
+            "cold {o1} vs warm {o2}"
+        );
+        assert_eq!(d1.iterations, d2.iterations);
+        let k = m1.len();
+        for i in 0..k {
+            for l in 0..k {
+                assert_eq!(
+                    m1.prob(i, l).to_bits(),
+                    m2.prob(i, l).to_bits(),
+                    "mechanism entry ({i},{l}) differs between warm and cold"
+                );
+            }
+        }
+        // The cold run never touches the warm engine; the warm run
+        // reuses bases from iteration 2 onwards.
+        assert_eq!(d1.lp_warm_resolves + d1.lp_cold_solves, 0);
+        if d2.iterations > 1 {
+            assert!(d2.lp_warm_resolves > 0, "warm run never warm-started");
+        }
+        assert!(d2.lp_cold_solves > 0);
+    }
+
+    #[test]
+    fn warm_parallel_matches_warm_serial() {
+        // Persistent solvers are pinned to their block slot, so thread
+        // count must not change anything — including pivot counts.
+        let (aux, cost) = instance(0.5);
+        let spec = reduced_spec(&aux, 1.5, f64::INFINITY);
+        let serial = CgOptions {
+            parallel: false,
+            ..CgOptions::default()
+        };
+        let par = CgOptions {
+            parallel: true,
+            ..CgOptions::default()
+        };
+        let (m1, o1, d1) = solve_column_generation(&cost, &spec, &serial).unwrap();
+        let (m2, o2, d2) = solve_column_generation(&cost, &spec, &par).unwrap();
+        assert_eq!(o1.to_bits(), o2.to_bits());
+        assert_eq!(d1.pricing_pivots, d2.pricing_pivots);
+        assert_eq!(d1.master_pivots, d2.master_pivots);
+        let k = m1.len();
+        for i in 0..k {
+            for l in 0..k {
+                assert_eq!(m1.prob(i, l).to_bits(), m2.prob(i, l).to_bits());
+            }
+        }
     }
 
     #[test]
@@ -792,6 +1208,9 @@ mod tests {
         );
         assert!(diag.master_time + diag.pricing_time <= diag.wall_time);
         assert!(diag.threads >= 1);
+        // Warm-engine accounting is live (default options warm-start).
+        assert!(diag.lp_cold_solves > 0);
+        assert!(diag.warm_hit_rate() >= 0.0 && diag.warm_hit_rate() <= 1.0);
         // The run is mirrored into the global registry. Other tests in
         // this binary flush concurrently, so assert lower bounds only.
         assert!(reg.counter(metrics::SOLVES) > solves_before);

@@ -153,24 +153,51 @@ impl CostMatrix {
         let k = dists.len();
         assert_eq!(f_p.len(), k, "f_P dimension mismatch");
         assert_eq!(f_q.len(), k, "f_Q dimension mismatch");
+        if k == 0 {
+            return Self {
+                k,
+                cost: Vec::new(),
+            };
+        }
+        // Rows are independent (row `i` reads only `f_p[i]`, `f_q`, and
+        // the distance matrix), so the O(K³) build fans out across
+        // cores; each row's accumulation order is unchanged, keeping
+        // the result bit-identical for any thread count.
         let mut cost = vec![0.0; k * k];
-        for i in 0..k {
-            let fp = f_p.get(i);
-            for l in 0..k {
-                let mut acc = 0.0;
-                if fp > 0.0 {
-                    for q in 0..k {
-                        let fq = f_q.get(q);
-                        if fq > 0.0 {
-                            let di = dists.get(i, q);
-                            let dl = dists.get(l, q);
-                            acc += fq * (di - dl).abs();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(k);
+        let chunk = k.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, rows) in cost.chunks_mut(chunk * k).enumerate() {
+                let lo = t * chunk;
+                handles.push(scope.spawn(move || {
+                    for (off, row) in rows.chunks_mut(k).enumerate() {
+                        let i = lo + off;
+                        let fp = f_p.get(i);
+                        for l in 0..k {
+                            let mut acc = 0.0;
+                            if fp > 0.0 {
+                                for q in 0..k {
+                                    let fq = f_q.get(q);
+                                    if fq > 0.0 {
+                                        let di = dists.get(i, q);
+                                        let dl = dists.get(l, q);
+                                        acc += fq * (di - dl).abs();
+                                    }
+                                }
+                            }
+                            row[l] = fp * acc;
                         }
                     }
-                }
-                cost[i * k + l] = fp * acc;
+                }));
             }
-        }
+            for h in handles {
+                h.join().expect("cost-matrix thread panicked");
+            }
+        });
         Self { k, cost }
     }
 

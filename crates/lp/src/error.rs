@@ -24,6 +24,11 @@ pub enum LpError {
     /// severe degeneracy beyond what Bland's rule resolves in the
     /// allotted budget).
     IterationLimit,
+    /// A structural mutation (new constraint row) was attempted on an
+    /// [`crate::IncrementalLp`] after its first solve; the warm basis
+    /// owns the row structure. Call
+    /// [`crate::IncrementalLp::invalidate`] first to unfreeze.
+    StructureFrozen,
 }
 
 impl fmt::Display for LpError {
@@ -39,6 +44,10 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "problem is infeasible"),
             LpError::Unbounded => write!(f, "objective is unbounded below"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::StructureFrozen => write!(
+                f,
+                "constraint rows are frozen after the first solve; call invalidate() first"
+            ),
         }
     }
 }

@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 
 mod error;
+mod incremental;
 mod problem;
 mod simplex;
 
 pub use error::LpError;
+pub use incremental::{ColumnSpec, IncrementalLp, ResolveStats};
 pub use problem::{Constraint, LinearProgram, Relation, Solution};
 pub use simplex::metrics;

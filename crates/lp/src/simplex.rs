@@ -1,7 +1,9 @@
 //! Dense two-phase tableau simplex.
 //!
-//! Internal module; the public entry point is
-//! [`LinearProgram::solve`](crate::LinearProgram::solve).
+//! Internal module; the public entry points are
+//! [`LinearProgram::solve`](crate::LinearProgram::solve) (one-shot
+//! solves) and [`IncrementalLp`](crate::IncrementalLp) (persistent,
+//! warm-started solves built on the same tableau machinery).
 //!
 //! The implementation is the classic textbook method:
 //!
@@ -18,19 +20,24 @@
 //! Pricing is Dantzig (most negative reduced cost) with a switch to
 //! Bland's rule late in the iteration budget to guarantee termination
 //! under degeneracy.
+//!
+//! The tableau carries an explicit artificial-column bitmap (not a
+//! column-index threshold) so that structural columns appended *after*
+//! assembly — the warm-started master's generated columns — price and
+//! pivot like any original column.
 
 // Dense numeric kernels below index several parallel arrays in one
 // loop; iterator rewrites would obscure the linear-algebra intent.
 #![allow(clippy::needless_range_loop)]
 
 use crate::error::LpError;
-use crate::problem::{LinearProgram, Relation, Solution};
+use crate::problem::{Constraint, LinearProgram, Relation, Solution};
 
 /// Telemetry metric names recorded by this module (via
 /// [`vlp_obs::global`]). Counted locally in the pivot loop and flushed
 /// once per solve, so instrumentation adds no per-pivot locking.
 pub mod metrics {
-    /// Counter: total calls to the solver.
+    /// Counter: total calls to the solver (cold and warm alike).
     pub const SOLVES: &str = "lpsolve.simplex.solves";
     /// Counter: pivots across both phases (incl. artificial drive-out).
     pub const PIVOTS: &str = "lpsolve.simplex.pivots";
@@ -42,20 +49,33 @@ pub mod metrics {
     pub const PHASE2_ITERATIONS: &str = "lpsolve.simplex.phase2_iterations";
     /// Timer: wall-clock time of each solve.
     pub const SOLVE_TIME: &str = "lpsolve.simplex.solve";
+    /// Counter: warm-started `IncrementalLp::resolve` calls that reused
+    /// the previous optimal basis.
+    pub const WARM_RESOLVES: &str = "lpsolve.warm.resolves";
+    /// Counter: cold solves performed by the incremental engine (first
+    /// solves and fallbacks after a failed warm attempt).
+    pub const WARM_COLD_SOLVES: &str = "lpsolve.warm.cold_solves";
+    /// Counter: warm resolves that skipped a phase 1 a cold solve would
+    /// have run (the problem has artificial columns).
+    pub const WARM_PHASE1_SKIPPED: &str = "lpsolve.warm.phase1_skipped";
+    /// Counter: pivots spent inside warm-started resolves.
+    pub const WARM_PIVOTS: &str = "lpsolve.warm.pivots";
+    /// Counter: columns appended to live warm bases.
+    pub const WARM_COLUMNS_ADDED: &str = "lpsolve.warm.columns_added";
 }
 
 /// Per-solve event tallies, flushed to the global registry at the end
-/// of [`solve`].
-#[derive(Default)]
-struct SolveStats {
-    pivots: u64,
-    refactorizations: u64,
-    phase1_iterations: u64,
-    phase2_iterations: u64,
+/// of each solve.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SolveStats {
+    pub(crate) pivots: u64,
+    pub(crate) refactorizations: u64,
+    pub(crate) phase1_iterations: u64,
+    pub(crate) phase2_iterations: u64,
 }
 
 impl SolveStats {
-    fn flush(&self) {
+    pub(crate) fn flush(&self) {
         let reg = vlp_obs::global();
         reg.incr(metrics::SOLVES, 1);
         reg.incr(metrics::PIVOTS, self.pivots);
@@ -66,7 +86,7 @@ impl SolveStats {
 }
 
 /// Pivot tolerance: entries smaller than this are treated as zero.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 /// Phase-1 objective above this value declares infeasibility.
 const FEAS_TOL: f64 = 1e-6;
 /// Anti-degeneracy right-hand-side perturbation unit. Problems in this
@@ -87,30 +107,37 @@ const PIVOT_TOL: f64 = 1e-7;
 const REFACTOR_EVERY: usize = 150;
 
 /// A dense simplex tableau with an attached reduced-cost row.
-struct Tableau {
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
     /// Number of constraint rows.
-    m: usize,
-    /// Total number of columns (structural + slack/surplus + artificial).
-    cols: usize,
+    pub(crate) m: usize,
+    /// Total number of columns (structural + slack/surplus + artificial
+    /// + appended structural).
+    pub(crate) cols: usize,
     /// Row-major data, each row has `cols + 1` entries (last = rhs).
-    data: Vec<f64>,
+    pub(crate) data: Vec<f64>,
     /// Pristine copy of `data` as assembled (basis = identity on the
     /// initial slack/artificial columns); used for refactorization.
-    orig: Vec<f64>,
+    /// Appended columns extend it with their original coefficients.
+    pub(crate) orig: Vec<f64>,
     /// Reduced-cost row, `cols` entries.
-    reduced: Vec<f64>,
+    pub(crate) reduced: Vec<f64>,
     /// Current objective value of the phase being optimized.
-    objective: f64,
+    pub(crate) objective: f64,
     /// Basic column of each row.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
     /// Whether each column is currently basic (kept in lock-step with
     /// `basis`); basic columns must never re-enter — their reduced
     /// costs are zero by construction and any negative value is pure
     /// round-off drift, but pivoting on such a column corrupts the
     /// basis bookkeeping catastrophically.
-    in_basis: Vec<bool>,
-    /// First artificial column index (columns ≥ this are artificial).
-    first_artificial: usize,
+    pub(crate) in_basis: Vec<bool>,
+    /// Whether each column is an artificial (phase-1-only) column.
+    /// A bitmap rather than an index threshold so structural columns
+    /// can be appended after assembly.
+    pub(crate) is_artificial: Vec<bool>,
+    /// Number of artificial columns.
+    pub(crate) n_artificial: usize,
 }
 
 impl Tableau {
@@ -119,17 +146,23 @@ impl Tableau {
         &self.data[i * w..(i + 1) * w]
     }
 
-    fn at(&self, i: usize, j: usize) -> f64 {
+    pub(crate) fn at(&self, i: usize, j: usize) -> f64 {
         self.data[i * (self.cols + 1) + j]
     }
 
-    fn rhs(&self, i: usize) -> f64 {
+    pub(crate) fn rhs(&self, i: usize) -> f64 {
         self.at(i, self.cols)
+    }
+
+    /// Whether the problem carries artificial columns (i.e. a cold
+    /// solve must run phase 1).
+    pub(crate) fn has_artificials(&self) -> bool {
+        self.n_artificial > 0
     }
 
     /// Performs a pivot on `(row, col)`: normalizes the pivot row and
     /// eliminates `col` from all other rows and the reduced-cost row.
-    fn pivot(&mut self, row: usize, col: usize) {
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
         let w = self.cols + 1;
         let pivot_val = self.at(row, col);
         debug_assert!(pivot_val.abs() > EPS, "pivot on a numerically zero entry");
@@ -167,7 +200,7 @@ impl Tableau {
 
     /// Recomputes the reduced-cost row and objective for cost vector `c`
     /// (dense over all columns).
-    fn reprice(&mut self, c: &[f64]) {
+    pub(crate) fn reprice(&mut self, c: &[f64]) {
         let mut reduced = c.to_vec();
         let mut objective = 0.0;
         for i in 0..self.m {
@@ -188,17 +221,18 @@ impl Tableau {
     /// Chooses the entering column: Dantzig by default, Bland when
     /// `bland` is set. Artificial columns never enter when
     /// `bar_artificial` is set. Returns `None` at optimality.
-    fn entering(&self, bland: bool, bar_artificial: bool) -> Option<usize> {
-        let limit = if bar_artificial {
-            self.first_artificial
-        } else {
-            self.cols
-        };
+    pub(crate) fn entering(&self, bland: bool, bar_artificial: bool) -> Option<usize> {
         if bland {
-            (0..limit).find(|&j| !self.in_basis[j] && self.reduced[j] < -EPS)
+            (0..self.cols).find(|&j| {
+                !(self.in_basis[j] || bar_artificial && self.is_artificial[j])
+                    && self.reduced[j] < -EPS
+            })
         } else {
             let mut best: Option<(usize, f64)> = None;
-            for j in 0..limit {
+            for j in 0..self.cols {
+                if bar_artificial && self.is_artificial[j] {
+                    continue;
+                }
                 let r = self.reduced[j];
                 if !self.in_basis[j] && r < -EPS && best.is_none_or(|(_, br)| r < br) {
                     best = Some((j, r));
@@ -216,7 +250,7 @@ impl Tableau {
     /// basic column index (anti-cycling); otherwise the numerically
     /// largest pivot element wins, with a preference for expelling
     /// artificial columns.
-    fn leaving(&self, col: usize, bland: bool) -> Option<usize> {
+    pub(crate) fn leaving(&self, col: usize, bland: bool) -> Option<usize> {
         let mut best: Option<(usize, f64, f64)> = None; // (row, ratio, pivot)
         for i in 0..self.m {
             let a = self.at(i, col);
@@ -232,8 +266,8 @@ impl Tableau {
                         } else if bland {
                             self.basis[i] < self.basis[bi]
                         } else {
-                            let bi_art = self.basis[bi] >= self.first_artificial;
-                            let i_art = self.basis[i] >= self.first_artificial;
+                            let bi_art = self.is_artificial[self.basis[bi]];
+                            let i_art = self.is_artificial[self.basis[i]];
                             (i_art && !bi_art) || (i_art == bi_art && a > bp)
                         }
                     }
@@ -250,7 +284,7 @@ impl Tableau {
     /// basis via Gauss-Jordan with partial pivoting, then re-prices.
     /// Returns `false` (leaving the tableau untouched) if the basis
     /// matrix is numerically singular.
-    fn refactor(&mut self, c: &[f64]) -> bool {
+    pub(crate) fn refactor(&mut self, c: &[f64]) -> bool {
         let m = self.m;
         let w = self.cols + 1;
         // Augmented system [B | A b]: width m + w.
@@ -314,7 +348,7 @@ impl Tableau {
     /// periodic refactorization). Iterations, pivots, and
     /// refactorizations are tallied into `stats`; `phase1` selects
     /// which per-phase iteration counter they land in.
-    fn optimize(
+    pub(crate) fn optimize(
         &mut self,
         c: &[f64],
         bar_artificial: bool,
@@ -345,6 +379,59 @@ impl Tableau {
         }
         Err(LpError::IterationLimit)
     }
+
+    /// Appends structural columns to a live tableau, keeping the
+    /// current basis (and therefore primal feasibility) intact.
+    ///
+    /// `new_cols[c]` holds the *normalized* (row-flip applied) original
+    /// coefficients of column `c`, dense over the `m` rows. `init_col`
+    /// maps each row to its assembly-time identity column (slack for
+    /// `≤`, artificial otherwise): since `orig[:, init_col[i]] = e_i`,
+    /// the current `data[:, init_col[i]]` is column `i` of `B⁻¹`, which
+    /// lets the basis representation `B⁻¹ a` of each new column be
+    /// accumulated without factorizing anything.
+    pub(crate) fn append_columns(&mut self, new_cols: &[Vec<f64>], init_col: &[usize]) {
+        let b = new_cols.len();
+        if b == 0 {
+            return;
+        }
+        let m = self.m;
+        let w = self.cols + 1;
+        let nw = w + b;
+        // Basis representation of each new column: B⁻¹ a.
+        let mut rep = vec![0.0; m * b];
+        for (c, a) in new_cols.iter().enumerate() {
+            debug_assert_eq!(a.len(), m, "appended column must be dense over rows");
+            for (i, &ai) in a.iter().enumerate() {
+                if ai != 0.0 {
+                    let col = init_col[i];
+                    for r in 0..m {
+                        rep[r * b + c] += ai * self.data[r * w + col];
+                    }
+                }
+            }
+        }
+        // Widen the row-major stores: existing columns, new columns,
+        // then rhs.
+        let mut data = vec![0.0; m * nw];
+        let mut orig = vec![0.0; m * nw];
+        for i in 0..m {
+            data[i * nw..i * nw + self.cols].copy_from_slice(&self.data[i * w..i * w + self.cols]);
+            orig[i * nw..i * nw + self.cols].copy_from_slice(&self.orig[i * w..i * w + self.cols]);
+            for c in 0..b {
+                data[i * nw + self.cols + c] = rep[i * b + c];
+                orig[i * nw + self.cols + c] = new_cols[c][i];
+            }
+            data[i * nw + nw - 1] = self.data[i * w + w - 1];
+            orig[i * nw + nw - 1] = self.orig[i * w + w - 1];
+        }
+        self.data = data;
+        self.orig = orig;
+        self.cols += b;
+        self.reduced.resize(self.cols, 0.0);
+        self.in_basis.resize(self.cols, false);
+        self.is_artificial.resize(self.cols, false);
+    }
 }
 
 /// Normalized row data after sign-flipping to a non-negative rhs.
@@ -355,19 +442,22 @@ struct NormRow {
     flipped: bool,
 }
 
-/// Solves `lp` and returns the optimum with primal and dual values.
-pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
-    let _span = vlp_obs::global().start(metrics::SOLVE_TIME);
-    let mut stats = SolveStats::default();
-    let result = solve_inner(lp, &mut stats);
-    stats.flush();
-    result
+/// An assembled tableau plus the row metadata needed for dual
+/// extraction and column appends.
+pub(crate) struct Assembly {
+    pub(crate) t: Tableau,
+    /// Per row, the column carrying `+e_i` at zero cost in `orig`
+    /// (slack for `≤`, artificial for `=`/`≥`). Used both for dual
+    /// extraction and to read `B⁻¹` out of the live tableau.
+    pub(crate) ref_col: Vec<usize>,
+    /// Whether each row was sign-flipped during normalization.
+    pub(crate) flipped: Vec<bool>,
 }
 
-fn solve_inner(lp: &LinearProgram, stats: &mut SolveStats) -> Result<Solution, LpError> {
-    let n = lp.n_vars();
-    let rows: Vec<NormRow> = lp
-        .constraints()
+/// Normalizes `constraints` and assembles the initial tableau
+/// (slack/artificial starting basis, perturbed homogeneous rows).
+pub(crate) fn assemble(n: usize, constraints: &[Constraint]) -> Assembly {
+    let rows: Vec<NormRow> = constraints
         .iter()
         .map(|c| {
             if c.rhs < 0.0 {
@@ -450,7 +540,11 @@ fn solve_inner(lp: &LinearProgram, stats: &mut SolveStats) -> Result<Solution, L
     for &b in &basis {
         in_basis[b] = true;
     }
-    let mut t = Tableau {
+    let mut is_artificial = vec![false; cols];
+    for a in is_artificial.iter_mut().skip(first_artificial) {
+        *a = true;
+    }
+    let t = Tableau {
         m,
         cols,
         orig: data.clone(),
@@ -459,70 +553,164 @@ fn solve_inner(lp: &LinearProgram, stats: &mut SolveStats) -> Result<Solution, L
         objective: 0.0,
         basis,
         in_basis,
-        first_artificial,
+        is_artificial,
+        n_artificial: cols - first_artificial,
     };
-
-    // Phase 1: minimize the sum of artificials (skipped when no
-    // artificial columns exist, i.e. all rows are `≤` with rhs ≥ 0).
-    if first_artificial < cols {
-        let mut c1 = vec![0.0; cols];
-        for c in c1.iter_mut().skip(first_artificial) {
-            *c = 1.0;
-        }
-        t.reprice(&c1);
-        t.optimize(&c1, false, stats, true)?;
-        if t.objective > FEAS_TOL {
-            return Err(LpError::Infeasible);
-        }
-        // Drive basic artificials out of the basis where possible.
-        for i in 0..m {
-            if t.basis[i] >= first_artificial {
-                if let Some(j) = (0..first_artificial).find(|&j| t.at(i, j).abs() > 1e-7) {
-                    t.pivot(i, j);
-                    stats.pivots += 1;
-                }
-                // Otherwise the row is redundant; the artificial stays
-                // basic at value zero and is barred from re-entering.
-            }
-        }
-    }
-
-    // Phase 2: the true objective, from a freshly refactorized basis.
-    let mut c2 = vec![0.0; cols];
-    c2[..n].copy_from_slice(lp.objective());
-    if t.refactor(&c2) {
-        stats.refactorizations += 1;
-    } else {
-        t.reprice(&c2);
-    }
-    t.optimize(&c2, true, stats, false)?;
-
-    // Extract the primal point.
-    let mut x = vec![0.0; n];
-    for i in 0..m {
-        if t.basis[i] < n {
-            x[t.basis[i]] = t.rhs(i);
-        }
-    }
-
-    // Extract duals: y_i = −r(reference column of row i) where the
-    // reference column has +e_i and zero cost (slack for `≤`,
-    // artificial for `=`/`≥`); flip back rows normalized above.
-    let mut duals = vec![0.0; m];
-    for (i, r) in rows.iter().enumerate() {
-        let ref_col = match r.relation {
+    let ref_col: Vec<usize> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| match r.relation {
             Relation::Le => slack_col[i],
             _ => art_col[i],
-        };
-        let y = -t.reduced[ref_col];
-        duals[i] = if r.flipped { -y } else { y };
+        })
+        .collect();
+    let flipped: Vec<bool> = rows.iter().map(|r| r.flipped).collect();
+    Assembly {
+        t,
+        ref_col,
+        flipped,
     }
+}
 
-    Ok(Solution {
+/// Phase 1: minimizes the sum of artificials from the slack/artificial
+/// starting basis, then drives remaining basic artificials out where
+/// possible. Call only when the tableau has artificial columns.
+pub(crate) fn run_phase1(t: &mut Tableau, stats: &mut SolveStats) -> Result<(), LpError> {
+    let mut c1 = vec![0.0; t.cols];
+    for (j, c) in c1.iter_mut().enumerate() {
+        if t.is_artificial[j] {
+            *c = 1.0;
+        }
+    }
+    t.reprice(&c1);
+    t.optimize(&c1, false, stats, true)?;
+    if t.objective > FEAS_TOL {
+        return Err(LpError::Infeasible);
+    }
+    // Drive basic artificials out of the basis where possible.
+    for i in 0..t.m {
+        if t.is_artificial[t.basis[i]] {
+            if let Some(j) = (0..t.cols).find(|&j| !t.is_artificial[j] && t.at(i, j).abs() > 1e-7) {
+                t.pivot(i, j);
+                stats.pivots += 1;
+            }
+            // Otherwise the row is redundant; the artificial stays
+            // basic at value zero and is barred from re-entering.
+        }
+    }
+    Ok(())
+}
+
+/// Phase 2: re-prices with the true objective `c` (from a freshly
+/// refactorized basis when possible) and optimizes to the minimum.
+pub(crate) fn run_phase2(
+    t: &mut Tableau,
+    c: &[f64],
+    stats: &mut SolveStats,
+) -> Result<(), LpError> {
+    if t.refactor(c) {
+        stats.refactorizations += 1;
+    } else {
+        t.reprice(c);
+    }
+    t.optimize(c, true, stats, false)
+}
+
+/// Canonicalizes an optimal tableau: refactorizes the final basis so
+/// the reported numbers are a pure function of `(orig, basis, c)` —
+/// independent of the pivot path that reached the basis. If the cleaned
+/// reduced costs re-expose an improving column (round-off was hiding
+/// it), optimization resumes, bounded to a few rounds.
+///
+/// This is what lets a warm-started resolve and a cold solve that land
+/// on the same optimal basis return bit-identical solutions.
+pub(crate) fn canonical_finish(
+    t: &mut Tableau,
+    c: &[f64],
+    stats: &mut SolveStats,
+) -> Result<(), LpError> {
+    for _ in 0..5 {
+        if !t.refactor(c) {
+            // Numerically singular basis: keep the pivoted data.
+            return Ok(());
+        }
+        stats.refactorizations += 1;
+        if t.entering(false, true).is_none() {
+            return Ok(());
+        }
+        t.optimize(c, true, stats, false)?;
+    }
+    Ok(())
+}
+
+/// Reads the solution out of an optimized tableau. `col_to_var` maps a
+/// tableau column back to its structural variable (identity for plain
+/// solves; splices appended columns for the incremental engine).
+pub(crate) fn extract_solution(
+    t: &Tableau,
+    ref_col: &[usize],
+    flipped: &[bool],
+    n_vars: usize,
+    col_to_var: impl Fn(usize) -> Option<usize>,
+) -> Solution {
+    let mut x = vec![0.0; n_vars];
+    for i in 0..t.m {
+        if let Some(v) = col_to_var(t.basis[i]) {
+            x[v] = t.rhs(i);
+        }
+    }
+    // Duals: y_i = −r(reference column of row i) where the reference
+    // column has +e_i and zero cost; flip back rows normalized during
+    // assembly.
+    let mut duals = vec![0.0; t.m];
+    for i in 0..t.m {
+        let y = -t.reduced[ref_col[i]];
+        duals[i] = if flipped[i] { -y } else { y };
+    }
+    Solution {
         objective: t.objective,
         x,
         duals,
-    })
+    }
+}
+
+/// Solves `lp` and returns the optimum with primal and dual values.
+pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let _span = vlp_obs::global().start(metrics::SOLVE_TIME);
+    let mut stats = SolveStats::default();
+    let result = solve_inner(lp, &mut stats);
+    stats.flush();
+    result
+}
+
+fn solve_inner(lp: &LinearProgram, stats: &mut SolveStats) -> Result<Solution, LpError> {
+    let n = lp.n_vars();
+    let Assembly {
+        mut t,
+        ref_col,
+        flipped,
+    } = assemble(n, lp.constraints());
+
+    // Phase 1 (skipped when no artificial columns exist, i.e. all rows
+    // are `≤` with rhs ≥ 0).
+    if t.has_artificials() {
+        run_phase1(&mut t, stats)?;
+    }
+
+    // Phase 2: the true objective.
+    let mut c2 = vec![0.0; t.cols];
+    c2[..n].copy_from_slice(lp.objective());
+    run_phase2(&mut t, &c2, stats)?;
+    // Canonical finish: refactorize at the optimum so the reported
+    // solution is a pure function of (problem data, final basis),
+    // independent of the pivot path. This is what lets a cold solve and
+    // an [`crate::IncrementalLp`] warm resolve that land on the same
+    // basis return bit-identical answers.
+    canonical_finish(&mut t, &c2, stats)?;
+
+    Ok(extract_solution(&t, &ref_col, &flipped, n, |j| {
+        (j < n).then_some(j)
+    }))
 }
 
 #[cfg(test)]

@@ -1,7 +1,54 @@
 //! Property-based tests for the simplex solver.
 
-use lpsolve::{LinearProgram, Relation};
+use lpsolve::{ColumnSpec, IncrementalLp, LinearProgram, Relation};
 use proptest::prelude::*;
+
+/// A random constraint row for the warm-start properties: dense
+/// coefficients plus a rhs that collapses to exactly `0.0` for roughly
+/// a third of the rows, so homogeneous (and hence degenerate-at-origin)
+/// rows are always part of the mix.
+fn arb_rows(n: usize) -> impl Strategy<Value = Vec<(Vec<f64>, f64)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(-3.0f64..3.0, n),
+            (-4.0f64..4.0).prop_map(|r| r.max(0.0)),
+        ),
+        1..6,
+    )
+}
+
+/// Builds the same program twice: once as a cold [`LinearProgram`],
+/// once as an [`IncrementalLp`]. Rows are `≤` with rhs ≥ 0, so `x = 0`
+/// is always feasible.
+fn build_pair(
+    n: usize,
+    rows: &[(Vec<f64>, f64)],
+    boxed: bool,
+    obj: &[f64],
+) -> (LinearProgram, IncrementalLp, Vec<f64>) {
+    let sparse_obj: Vec<(usize, f64)> = obj.iter().copied().enumerate().collect();
+    let mut cold = LinearProgram::new(n);
+    let mut warm = IncrementalLp::new(n);
+    cold.set_objective(&sparse_obj).unwrap();
+    warm.set_objective(&sparse_obj).unwrap();
+    let mut rhss = Vec::new();
+    for (coeffs, rhs) in rows {
+        let sparse: Vec<(usize, f64)> = coeffs.iter().copied().enumerate().collect();
+        cold.add_constraint(&sparse, Relation::Le, *rhs).unwrap();
+        warm.add_constraint(&sparse, Relation::Le, *rhs).unwrap();
+        rhss.push(*rhs);
+    }
+    if boxed {
+        for i in 0..n {
+            cold.add_constraint(&[(i, 1.0)], Relation::Le, 10.0)
+                .unwrap();
+            warm.add_constraint(&[(i, 1.0)], Relation::Le, 10.0)
+                .unwrap();
+        }
+        rhss.extend(std::iter::repeat_n(10.0, n));
+    }
+    (cold, warm, rhss)
+}
 
 proptest! {
     /// Box problems have the closed-form optimum
@@ -114,6 +161,139 @@ proptest! {
         for (s_i, s_amt) in supply.iter().enumerate() {
             let got: f64 = (0..nd).map(|d| sol.x[s_i * nd + d]).sum();
             prop_assert!((got - s_amt).abs() < 1e-5);
+        }
+    }
+
+    /// After an objective change, a warm `resolve()` must agree with a
+    /// cold `LinearProgram::solve` of the same data: same optimum, same
+    /// dual objective (`y·b`, which is unique even when the dual point
+    /// is not), same primal feasibility — on random polytopes that
+    /// include homogeneous rows (rhs = 0), so the warm basis is
+    /// routinely degenerate at the origin.
+    #[test]
+    fn warm_objective_change_matches_cold(
+        rows in arb_rows(3),
+        obj1 in prop::collection::vec(-4.0f64..4.0, 3),
+        obj2 in prop::collection::vec(-4.0f64..4.0, 3),
+    ) {
+        let n = 3;
+        let (mut cold, mut warm, rhss) = build_pair(n, &rows, true, &obj1);
+        warm.resolve().unwrap();
+        // Swap objectives on both and solve again.
+        let sparse2: Vec<(usize, f64)> = obj2.iter().copied().enumerate().collect();
+        cold.set_objective(&sparse2).unwrap();
+        warm.set_objective(&sparse2).unwrap();
+        let cs = cold.solve().unwrap();
+        let ws = warm.resolve().unwrap();
+        prop_assert!(warm.last_stats().warm);
+        prop_assert_eq!(warm.last_stats().phase1_iterations, 0);
+        prop_assert!((ws.objective - cs.objective).abs() < 1e-6,
+            "warm {} vs cold {}", ws.objective, cs.objective);
+        // Strong duality holds for both reported dual vectors.
+        let w_yb: f64 = ws.duals.iter().zip(&rhss).map(|(y, b)| y * b).sum();
+        let c_yb: f64 = cs.duals.iter().zip(&rhss).map(|(y, b)| y * b).sum();
+        prop_assert!((w_yb - ws.objective).abs() < 1e-5);
+        prop_assert!((c_yb - cs.objective).abs() < 1e-5);
+        // The warm primal point is feasible.
+        for ((coeffs, rhs), _) in rows.iter().zip(0..) {
+            let lhs: f64 = coeffs.iter().zip(&ws.x).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs <= rhs + 1e-6);
+        }
+        prop_assert!(ws.x.iter().all(|&v| v >= -1e-9));
+    }
+
+    /// Without box bounds the problem may be unbounded; whatever the
+    /// cold solver decides (optimum or error), the warm resolve must
+    /// report the same outcome.
+    #[test]
+    fn warm_resolve_matches_cold_error_kinds(
+        rows in arb_rows(3),
+        obj1 in prop::collection::vec(-4.0f64..4.0, 3),
+        obj2 in prop::collection::vec(-4.0f64..4.0, 3),
+    ) {
+        let n = 3;
+        let (mut cold, mut warm, _) = build_pair(n, &rows, false, &obj1);
+        // The first solves must already agree.
+        let first_cold = cold.solve();
+        let first_warm = warm.resolve();
+        match (&first_cold, &first_warm) {
+            (Ok(a), Ok(b)) => prop_assert!((a.objective - b.objective).abs() < 1e-6),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => prop_assert!(false, "first solve disagrees: {:?}", other),
+        }
+        let sparse2: Vec<(usize, f64)> = obj2.iter().copied().enumerate().collect();
+        cold.set_objective(&sparse2).unwrap();
+        warm.set_objective(&sparse2).unwrap();
+        match (cold.solve(), warm.resolve()) {
+            (Ok(a), Ok(b)) => prop_assert!((a.objective - b.objective).abs() < 1e-6,
+                "warm {} vs cold {}", b.objective, a.objective),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => prop_assert!(false, "second solve disagrees: {:?}", other),
+        }
+    }
+
+    /// Appending columns to a live solver matches a cold solve of the
+    /// widened program, including through homogeneous equality rows
+    /// (which force phase 1 on the cold side).
+    #[test]
+    fn warm_added_columns_match_cold_rebuild(
+        rows in arb_rows(3),
+        obj in prop::collection::vec(-4.0f64..4.0, 3),
+        new_cost in -4.0f64..4.0,
+        new_col in prop::collection::vec(-2.0f64..2.0, 1..6),
+    ) {
+        let n = 3;
+        let (_, mut warm, _) = build_pair(n, &rows, true, &obj);
+        warm.resolve().unwrap();
+        let m = warm.n_constraints();
+        let entries: Vec<(usize, f64)> = new_col
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(r, v)| (r % m, v))
+            .collect();
+        warm.add_columns(&[ColumnSpec { cost: new_cost, entries: entries.clone() }]).unwrap();
+        // The new column has no box row in either program, so both may
+        // now be unbounded — outcomes must match either way.
+        let warm_result = warm.resolve();
+
+        // Cold rebuild of the widened program (duplicate row entries in
+        // `entries` accumulate, mirroring `add_columns`).
+        let mut cold = LinearProgram::new(n + 1);
+        let mut sparse_obj: Vec<(usize, f64)> = obj.iter().copied().enumerate().collect();
+        sparse_obj.push((n, new_cost));
+        cold.set_objective(&sparse_obj).unwrap();
+        // Mirror every row of the warm program — the new column's
+        // entries may hit the box rows too.
+        let extra_for = |r: usize| -> f64 {
+            entries.iter().filter(|(row, _)| *row == r).map(|(_, v)| v).sum()
+        };
+        for (r, (coeffs, rhs)) in rows.iter().enumerate() {
+            let mut sparse: Vec<(usize, f64)> = coeffs.iter().copied().enumerate().collect();
+            let extra = extra_for(r);
+            if extra != 0.0 {
+                sparse.push((n, extra));
+            }
+            cold.add_constraint(&sparse, Relation::Le, *rhs).unwrap();
+        }
+        for i in 0..n {
+            let mut sparse = vec![(i, 1.0)];
+            let extra = extra_for(rows.len() + i);
+            if extra != 0.0 {
+                sparse.push((n, extra));
+            }
+            cold.add_constraint(&sparse, Relation::Le, 10.0).unwrap();
+        }
+        match (cold.solve(), warm_result) {
+            (Ok(cs), Ok(ws)) => {
+                prop_assert!((ws.objective - cs.objective).abs() < 1e-6,
+                    "warm {} vs cold {}", ws.objective, cs.objective);
+                for (w, c) in ws.x.iter().zip(&cs.x) {
+                    prop_assert!((w - c).abs() < 1e-5);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => prop_assert!(false, "outcomes disagree: {:?}", other),
         }
     }
 }

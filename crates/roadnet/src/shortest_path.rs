@@ -181,6 +181,55 @@ impl ShortestPathTree {
     }
 }
 
+/// Reusable per-thread Dijkstra working memory: one distance array, one
+/// settled bitmap, and one heap, reset (not reallocated) between runs.
+/// The relaxation loop in [`DijkstraScratch::run_out`] mirrors
+/// [`ShortestPathTree::build`] operation for operation, so the distances
+/// it produces are bit-identical to a fresh tree build.
+struct DijkstraScratch {
+    dist: Vec<f64>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            dist: vec![f64::INFINITY; n],
+            settled: vec![false; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Out-direction Dijkstra from `s`, leaving the distances in
+    /// `self.dist`. Returns the number of settled nodes.
+    fn run_out(&mut self, graph: &RoadGraph, s: usize) -> u64 {
+        self.dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+        self.settled.iter_mut().for_each(|x| *x = false);
+        self.heap.clear();
+        self.dist[s] = 0.0;
+        self.heap.push(HeapEntry { dist: 0.0, node: s });
+        let mut settled_count = 0u64;
+        while let Some(HeapEntry { dist: d, node: v }) = self.heap.pop() {
+            if self.settled[v] {
+                continue;
+            }
+            self.settled[v] = true;
+            settled_count += 1;
+            for &eid in graph.out_edges(NodeId(v)) {
+                let e = graph.edge(eid);
+                let w = e.end().0;
+                let nd = d + e.length();
+                if nd < self.dist[w] {
+                    self.dist[w] = nd;
+                    self.heap.push(HeapEntry { dist: nd, node: w });
+                }
+            }
+        }
+        settled_count
+    }
+}
+
 /// All-pairs node-to-node travel distances (`d_G` restricted to `V`).
 ///
 /// Built by running Dijkstra from every connection; the road graphs in
@@ -195,16 +244,58 @@ pub struct NodeDistances {
 
 impl NodeDistances {
     /// Computes travel distances between all ordered pairs of
-    /// connections.
+    /// connections, fanning the independent per-source Dijkstra runs
+    /// across the available cores. Each source row is computed by
+    /// exactly the same float operations regardless of thread count, so
+    /// the result is byte-identical to [`Self::all_pairs_serial`].
     pub fn all_pairs(graph: &RoadGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::all_pairs_with_threads(graph, threads)
+    }
+
+    /// Single-threaded [`Self::all_pairs`] (the deterministic
+    /// reference the parallel build is tested against).
+    pub fn all_pairs_serial(graph: &RoadGraph) -> Self {
+        Self::all_pairs_with_threads(graph, 1)
+    }
+
+    fn all_pairs_with_threads(graph: &RoadGraph, threads: usize) -> Self {
         let n = graph.node_count();
-        let mut dist = vec![f64::INFINITY; n * n];
-        for s in 0..n {
-            let tree = ShortestPathTree::build(graph, NodeId(s), TreeDirection::Out);
-            for t in 0..n {
-                dist[s * n + t] = tree.distance(NodeId(t));
-            }
+        if n == 0 {
+            return Self {
+                n,
+                dist: Vec::new(),
+            };
         }
+        let mut dist = vec![f64::INFINITY; n * n];
+        let chunk = n.div_ceil(threads.max(1).min(n));
+        let mut settled_total = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, rows) in dist.chunks_mut(chunk * n).enumerate() {
+                let lo = t * chunk;
+                handles.push(scope.spawn(move || {
+                    let mut scratch = DijkstraScratch::new(n);
+                    let mut settled = 0u64;
+                    for (off, row) in rows.chunks_mut(n).enumerate() {
+                        settled += scratch.run_out(graph, lo + off);
+                        row.copy_from_slice(&scratch.dist);
+                    }
+                    settled
+                }));
+            }
+            for h in handles {
+                settled_total += h.join().expect("all-pairs thread panicked");
+            }
+        });
+        // One flush for the whole build (same counter totals as n
+        // individual tree builds, and deterministic across thread
+        // counts).
+        let obs = vlp_obs::global();
+        obs.incr(metrics::DIJKSTRA_RUNS, n as u64);
+        obs.incr(metrics::SETTLED_NODES, settled_total);
         Self { n, dist }
     }
 
@@ -305,6 +396,32 @@ mod tests {
             let t = ShortestPathTree::build(&g, NodeId(s), TreeDirection::Out);
             for v in 0..4 {
                 assert_eq!(m.get(NodeId(s), NodeId(v)), t.distance(NodeId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_parallel_is_byte_identical_to_serial() {
+        // Larger irregular graph: a ring plus chords with irrational
+        // lengths, so float round-off would expose any change in
+        // operation order between the serial and parallel builds.
+        let mut b = RoadGraphBuilder::new();
+        let n = 37;
+        let v: Vec<_> = (0..n).map(|i| b.add_node(i as f64, 0.0)).collect();
+        for i in 0..n {
+            b.add_edge(v[i], v[(i + 1) % n], 1.0 + (i as f64) * 0.137)
+                .unwrap();
+            b.add_edge(v[i], v[(i + 7) % n], 2.0 + (i as f64).sqrt())
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        let serial = NodeDistances::all_pairs_serial(&g);
+        let parallel = NodeDistances::all_pairs(&g);
+        for s in 0..n {
+            for t in 0..n {
+                let a = serial.get(NodeId(s), NodeId(t));
+                let b = parallel.get(NodeId(s), NodeId(t));
+                assert_eq!(a.to_bits(), b.to_bits(), "({s},{t}): {a} vs {b}");
             }
         }
     }
