@@ -16,6 +16,23 @@
 //!
 //! Both attacks operate on interval indices: the adversary sees the
 //! same discretized world the mechanism is defined on.
+//!
+//! # Example
+//!
+//! ```
+//! use vlp_core::{Mechanism, Prior};
+//!
+//! // Against the uniform mechanism a report carries no information:
+//! // the Bayesian posterior collapses back to the prior.
+//! let mechanism = Mechanism::uniform(4);
+//! let prior = Prior::uniform(4);
+//! let post = adversary::posterior(&mechanism, &prior, 1);
+//! assert!(post.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+//!
+//! // Against truthful reporting the posterior is a point mass.
+//! let post = adversary::posterior(&Mechanism::identity(4), &prior, 1);
+//! assert_eq!(post, vec![0.0, 1.0, 0.0, 0.0]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -14,6 +14,20 @@
 //! Both accept rectangular cost matrices: every row (task) gets exactly
 //! one distinct column (vehicle) when `rows ≤ cols`; extra vehicles
 //! stay idle.
+//!
+//! # Example
+//!
+//! ```
+//! // Two tasks, two vehicles: greedy grabs the global cheapest cell
+//! // first and gets stuck; Hungarian finds the cheaper matching.
+//! let cost = vec![vec![1.0, 2.0], vec![1.5, 9.0]];
+//! let exact = assignment::hungarian(&cost)?;
+//! assert_eq!(exact.pairs, vec![1, 0]); // task 0 → vehicle 1, task 1 → vehicle 0
+//! assert_eq!(exact.total_cost(&cost), 3.5);
+//! let heuristic = assignment::greedy(&cost)?;
+//! assert!(heuristic.total_cost(&cost) >= exact.total_cost(&cost));
+//! # Ok::<(), assignment::AssignError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,207 @@
+//! Service-layer benchmark: drives [`platform::MechanismService`] with
+//! a repeated-ε, multi-region obfuscation workload and emits the
+//! telemetry snapshot as `artifacts/bench_service.json`.
+//!
+//! The workload is the serving pattern the sharded layer is built for:
+//! a fleet spread over every region shard, each vehicle requesting one
+//! of a few popular ε budgets, batch after batch. The first batch is
+//! all cache misses (served from the graph-Laplace fallback under a
+//! zero deadline, so the run is deterministic); every later batch hits
+//! the `(shard, ε-bucket)` LRU cache.
+//!
+//! The binary enforces the service acceptance gates:
+//!
+//! * cache hit rate ≥ [`HIT_RATE_FLOOR`] across the workload;
+//! * every served mechanism — cached optimum and fallback alike —
+//!   passes `privacy::verify` against the *full* Geo-I constraint set
+//!   at its canonical ε.
+//!
+//! Flags: `--out <path>` (default `artifacts/bench_service.json`),
+//! `--batches <n>`, `--fleet <n>`.
+
+use std::time::{Duration, Instant};
+
+use platform::{service, MechanismService, Served, ServiceConfig, WorkerId};
+use roadnet::{generators, EdgeId, Location};
+use vlp_core::privacy;
+
+/// Popular privacy budgets the fleet rotates through (per km).
+const EPSILONS: [f64; 3] = [2.0, 5.0, 10.0];
+
+/// Region shards the map is partitioned into.
+const N_SHARDS: usize = 4;
+
+/// Minimum acceptable cache hit rate on the repeated-ε workload.
+const HIT_RATE_FLOOR: f64 = 0.90;
+
+/// One on-map request location per (shard, slot) pair, round-robin.
+fn fleet_locations(svc: &MechanismService, graph_edges: usize, per_shard: usize) -> Vec<Location> {
+    let mut by_shard: Vec<Vec<Location>> = vec![Vec::new(); svc.shard_count()];
+    for e in 0..graph_edges {
+        let loc = Location::new(EdgeId(e), 0.05);
+        if let Some((s, _)) = svc.partition().to_local(loc) {
+            if by_shard[s].len() < per_shard {
+                by_shard[s].push(loc);
+            }
+        }
+    }
+    for (s, locs) in by_shard.iter().enumerate() {
+        assert!(!locs.is_empty(), "no request location found for shard {s}");
+    }
+    // Interleave shards so every batch touches every shard.
+    let mut out = Vec::new();
+    for slot in 0..per_shard {
+        for locs in &by_shard {
+            out.push(locs[slot % locs.len()]);
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut out = String::from("artifacts/bench_service.json");
+    let mut batches = 40usize;
+    let mut fleet = 60usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out = argv.next().expect("--out needs a path"),
+            "--batches" => {
+                batches = argv
+                    .next()
+                    .expect("--batches needs a count")
+                    .parse()
+                    .expect("--batches needs an integer")
+            }
+            "--fleet" => {
+                fleet = argv
+                    .next()
+                    .expect("--fleet needs a count")
+                    .parse()
+                    .expect("--fleet needs an integer")
+            }
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (expected --out <path>, --batches <n>, --fleet <n>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let obs = vlp_obs::global();
+    obs.reset();
+    obs.set_run_id("bench-service-v1");
+    let total = Instant::now();
+
+    // A city-like map: large enough that each of the four shards keeps
+    // a real road structure after banding.
+    let graph = generators::grid(4, 6, 0.4, true);
+    let n_edges = graph.edge_count();
+    let mut svc = MechanismService::new(
+        graph,
+        ServiceConfig {
+            n_shards: N_SHARDS,
+            delta: 0.2,
+            // Zero deadline keeps the run deterministic: the cold batch
+            // is served entirely from the fallback while the solves
+            // land in the cache before the call returns.
+            solve_deadline: Duration::ZERO,
+            ..ServiceConfig::default()
+        },
+    );
+    let locations = fleet_locations(&svc, n_edges, fleet.div_ceil(N_SHARDS));
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20_260_807);
+    let mut served_optimal = 0u64;
+    let mut served_fallback = 0u64;
+    let mut requests_total = 0u64;
+    for _batch in 0..batches {
+        let reqs: Vec<(WorkerId, Location, f64)> = (0..fleet)
+            .map(|w| {
+                (
+                    WorkerId(w),
+                    locations[w % locations.len()],
+                    EPSILONS[w % EPSILONS.len()],
+                )
+            })
+            .collect();
+        requests_total += reqs.len() as u64;
+        for o in svc.obfuscate_batch(&reqs, &mut rng) {
+            match o.served {
+                Served::Optimal { .. } => served_optimal += 1,
+                Served::Fallback => served_fallback += 1,
+            }
+        }
+    }
+    let elapsed = total.elapsed();
+
+    // Audit every mechanism the workload served: the cached optimum
+    // and the fallback of each (shard, ε) against the full (unreduced)
+    // Geo-I constraint set at the canonical ε.
+    let mut audited = 0usize;
+    for s in 0..svc.shard_count() {
+        let inst = svc.shard_instance(s);
+        for &eps in &EPSILONS {
+            let canonical = svc.canonical_epsilon(eps);
+            let spec = vlp_core::PrivacySpec::full(&inst.aux, canonical, f64::INFINITY);
+            let cached = svc
+                .cached_mechanism(s, eps)
+                .expect("workload solved every (shard, ε) key");
+            assert!(
+                privacy::verify(cached, &spec, 1e-6),
+                "cached mechanism for shard {s} at ε={canonical} violates Geo-I"
+            );
+            let fallback = svc
+                .fallback_mechanism(s, eps)
+                .expect("cold batch built every fallback");
+            assert!(
+                privacy::verify(fallback, &spec, 1e-6),
+                "fallback for shard {s} at ε={canonical} violates Geo-I"
+            );
+            audited += 2;
+        }
+    }
+
+    let hits = obs.counter(service::metrics::CACHE_HITS);
+    let misses = obs.counter(service::metrics::CACHE_MISSES);
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    let fallback_share = served_fallback as f64 / (served_optimal + served_fallback) as f64;
+    let throughput = requests_total as f64 / elapsed.as_secs_f64();
+    obs.push("bench_service.hit_rate", hit_rate);
+    obs.push("bench_service.fallback_share", fallback_share);
+    obs.push("bench_service.throughput_rps", throughput);
+    obs.incr("bench_service.mechanisms_audited", audited as u64);
+    obs.record_duration("bench_service.total", elapsed);
+
+    let snapshot = obs.snapshot();
+    if let Err(e) = vlp_obs::schema::validate_snapshot(&snapshot) {
+        eprintln!("bench_service: FAIL — invalid snapshot: {e}");
+        std::process::exit(1);
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+    }
+    let mut doc = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    doc.push('\n');
+    std::fs::write(&out, doc).expect("write artifact");
+
+    if hit_rate < HIT_RATE_FLOOR {
+        eprintln!(
+            "bench_service: FAIL — cache hit rate {:.1}% below the {:.0}% floor",
+            hit_rate * 100.0,
+            HIT_RATE_FLOOR * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_service: OK — {requests_total} requests over {batches} batches × {N_SHARDS} shards, \
+         {:.1}% cache hits, {:.1}% fallback-served, {:.0} req/s, {audited} mechanisms audited → {out}",
+        hit_rate * 100.0,
+        fallback_share * 100.0,
+        throughput
+    );
+}

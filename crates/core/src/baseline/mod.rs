@@ -8,7 +8,16 @@
 //!   exactly as \[24\] proposes;
 //! * [`laplace`] — the discrete planar-Laplace mechanism of Andrés et
 //!   al. (the original Geo-I paper), included as a second,
-//!   optimization-free point of reference.
+//!   optimization-free point of reference;
+//! * [`graph`] — the graph-Laplace mechanism: closed-form like
+//!   `laplace` but built on *road* distances so it satisfies the
+//!   road-network `ε`-Geo-I constraints outright. It is not a paper
+//!   baseline; it is the first-class **fallback** the serving layer
+//!   returns when an optimal solve misses its deadline (quality is
+//!   sacrificed, ε never is).
 
+pub mod graph;
 pub mod laplace;
 pub mod two_d;
+
+pub use graph::graph_laplace;

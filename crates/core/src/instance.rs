@@ -126,6 +126,34 @@ impl VlpInstance {
             diagnostics,
         })
     }
+
+    /// The closed-form fallback mechanism for this instance at budget
+    /// `epsilon`: the graph-Laplace construction
+    /// ([`crate::baseline::graph_laplace`]), which satisfies
+    /// `(ε, r)`-Geo-I for every radius without an LP solve. Serving
+    /// layers return it when [`Self::solve`] cannot finish within a
+    /// deadline — quality is sacrificed, ε never is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not positive.
+    pub fn fallback(&self, epsilon: f64) -> Mechanism {
+        crate::baseline::graph_laplace(&self.aux, epsilon)
+    }
+
+    /// Replaces the worker prior `f_P` and rebuilds the cost matrix.
+    /// The graph, discretization, and distances are untouched, so this
+    /// is the cheap path for prior-drift refreshes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prior's dimension differs from the interval
+    /// count.
+    pub fn set_worker_prior(&mut self, f_p: Prior) {
+        assert_eq!(f_p.len(), self.disc.len(), "f_P dimension mismatch");
+        self.f_p = f_p;
+        self.cost = CostMatrix::build(&self.interval_dists, &self.f_p, &self.f_q);
+    }
 }
 
 #[cfg(test)]

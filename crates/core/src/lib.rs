@@ -30,8 +30,11 @@
 //!    worker-download flow of §2.
 //!
 //! [`VlpInstance`] bundles steps 1–4 behind one call. [`baseline`]
-//! provides the 2-D-plane comparison mechanisms of §5; [`bounds`] the
-//! closed-form quality floors of §4.4.
+//! provides the 2-D-plane comparison mechanisms of §5 and the
+//! closed-form [`baseline::graph_laplace`] fallback served under solve
+//! deadlines ([`VlpInstance::fallback`]); [`bounds`] the closed-form
+//! quality floors of §4.4. Served mechanisms — optimal or fallback —
+//! are audited with [`privacy::verify`].
 //!
 //! # Example
 //!
@@ -56,7 +59,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod auxiliary;
 pub mod baseline;
@@ -69,7 +72,7 @@ pub mod dvlp;
 mod error;
 mod instance;
 mod mechanism;
-mod privacy;
+pub mod privacy;
 
 pub use auxiliary::AuxiliaryGraph;
 pub use column_generation::{solve_column_generation, CgDiagnostics, CgOptions};

@@ -107,6 +107,19 @@ impl Mechanism {
 
     /// Samples a reported interval for true interval `i`.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use vlp_core::Mechanism;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    /// // Truthful reporting always returns the true interval...
+    /// assert_eq!(Mechanism::identity(4).sample_interval(2, &mut rng), 2);
+    /// // ...while any mechanism's draw lands in `0..K`.
+    /// assert!(Mechanism::uniform(4).sample_interval(2, &mut rng) < 4);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `i ≥ K`.

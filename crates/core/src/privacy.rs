@@ -4,6 +4,34 @@
 use serde::{Deserialize, Serialize};
 
 use crate::auxiliary::AuxiliaryGraph;
+use crate::mechanism::Mechanism;
+
+/// Audits a mechanism against a Geo-I spec: row-stochastic within
+/// `tol` *and* no constraint violated by more than `tol`.
+///
+/// This is the acceptance gate every served mechanism must pass —
+/// optimally solved or fallback alike: the serving layer may trade
+/// *quality* under load, never ε.
+///
+/// # Example
+///
+/// ```
+/// use roadnet::generators;
+/// use vlp_core::{privacy, AuxiliaryGraph, Discretization, Mechanism, PrivacySpec};
+///
+/// let graph = generators::grid(2, 2, 0.5, true);
+/// let disc = Discretization::new(&graph, 0.25);
+/// let aux = AuxiliaryGraph::build(&graph, &disc);
+/// let spec = PrivacySpec::full(&aux, 2.0, f64::INFINITY);
+///
+/// // The uniform mechanism satisfies every Geo-I spec...
+/// assert!(privacy::verify(&Mechanism::uniform(disc.len()), &spec, 1e-9));
+/// // ...truthful reporting satisfies none (over distinct intervals).
+/// assert!(!privacy::verify(&Mechanism::identity(disc.len()), &spec, 1e-9));
+/// ```
+pub fn verify(mechanism: &Mechanism, spec: &PrivacySpec, tol: f64) -> bool {
+    mechanism.is_row_stochastic(tol) && mechanism.max_violation(spec) <= tol
+}
 
 /// One directed Geo-I constraint: for every obfuscated interval `j`,
 /// `z_{i,j} ≤ exp(ε · dist) · z_{l,j}`.
@@ -175,5 +203,20 @@ mod tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn rejects_zero_epsilon() {
         PrivacySpec::full(&aux(), 0.0, 1.0);
+    }
+
+    #[test]
+    fn verify_rejects_non_stochastic_matrices() {
+        let aux = aux();
+        let k = aux.len();
+        let spec = PrivacySpec::full(&aux, 1.0, f64::INFINITY);
+        assert!(verify(&Mechanism::uniform(k), &spec, 1e-12));
+        // Deserialization does not re-validate rows; a sub-stochastic
+        // matrix satisfies every ratio constraint yet must fail the
+        // audit.
+        let half = 0.5 / k as f64;
+        let doc = format!("{{\"k\":{k},\"z\":{:?}}}", vec![half; k * k]);
+        let m: Mechanism = serde_json::from_str(&doc).unwrap();
+        assert!(!verify(&m, &spec, 1e-9));
     }
 }

@@ -107,6 +107,27 @@ impl WarmState {
 /// state persists across solves. See the module docs for the two warm
 /// patterns; rows are frozen after the first solve, columns and the
 /// objective are not.
+///
+/// # Examples
+///
+/// ```
+/// use lpsolve::{IncrementalLp, Relation};
+///
+/// // minimize x₀ + 2x₁  s.t.  x₀ + x₁ ≥ 1
+/// let mut lp = IncrementalLp::new(2);
+/// lp.set_objective(&[(0, 1.0), (1, 2.0)])?;
+/// lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 1.0)?;
+/// let cold = lp.resolve()?;
+/// assert_eq!(cold.objective, 1.0); // all mass on the cheap variable
+///
+/// // Re-pricing after an objective change warm-starts from the
+/// // previous basis: no phase 1, usually few (or zero) pivots.
+/// lp.set_objective(&[(0, 3.0), (1, 2.0)])?;
+/// let warm = lp.resolve()?;
+/// assert_eq!(warm.objective, 2.0); // mass moved to x₁
+/// assert!(lp.last_stats().warm);
+/// # Ok::<(), lpsolve::LpError>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct IncrementalLp {
     n_vars: usize,

@@ -15,6 +15,25 @@
 //! Everything downstream — discretization, priors, mechanisms, attacks
 //! — consumes only the outputs of this crate, so swapping in the real
 //! dataset would be a pure I/O exercise.
+//!
+//! # Example
+//!
+//! ```
+//! use mobility::{estimate_prior, generate_trace, TraceConfig};
+//! use roadnet::generators;
+//! use vlp_core::Discretization;
+//!
+//! let graph = generators::grid(2, 2, 0.5, true);
+//! let cfg = TraceConfig { reports: 50, ..TraceConfig::default() };
+//! let trace = generate_trace(&graph, &cfg, 7);
+//! assert_eq!(trace.locations.len(), 50);
+//!
+//! // A smoothed location prior f_P estimated from the trace.
+//! let disc = Discretization::new(&graph, 0.25);
+//! let prior = estimate_prior(&graph, &disc, &[trace], 0.1).expect("on-map trace");
+//! let total: f64 = (0..disc.len()).map(|i| prior.get(i)).sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

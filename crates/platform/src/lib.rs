@@ -22,6 +22,11 @@
 //! supplies the map, `mobility` the motion, `vlp-core` the mechanism,
 //! `assignment` the matching.
 //!
+//! For city-scale serving, [`MechanismService`] shards the map into
+//! regions, caches solved mechanisms per `(shard, ε-bucket)` in a
+//! bounded LRU, and serves under a solve deadline with a
+//! privacy-preserving graph-Laplace fallback — see [`service`].
+//!
 //! # Example
 //!
 //! ```
@@ -44,14 +49,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod server;
+pub mod service;
 mod simulation;
 mod worker;
 
 pub use server::metrics;
 pub use server::{Server, ServerConfig, SnapshotOutcome};
+pub use service::{MechanismService, Obfuscation, Served, ServiceConfig};
 pub use simulation::{Simulation, SimulationConfig, SimulationReport};
 pub use worker::{Worker, WorkerId, WorkerStatus};
 

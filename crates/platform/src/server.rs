@@ -1,17 +1,15 @@
 //! The server side of the framework (§2): task publication, snapshot
 //! assignment from obfuscated reports, and mechanism lifecycle.
 
-use roadnet::{NodeDistances, RoadGraph};
-use vlp_core::constraint_reduction::reduced_spec;
+use roadnet::RoadGraph;
 use vlp_core::{
-    solve_column_generation, AuxiliaryGraph, CgOptions, CostMatrix, Discretization,
-    IntervalDistances, Mechanism, Prior, VlpError,
+    CgOptions, Discretization, IntervalDistances, Mechanism, Prior, VlpError, VlpInstance,
 };
 
 use crate::{Task, TaskId, WorkerId};
 
 /// Telemetry metric names recorded by the platform server (and, for
-/// [`ASSIGNMENT_DISTORTION_KM`], by the surrounding simulation which
+/// [`ASSIGNMENT_DISTORTION_KM`](metrics::ASSIGNMENT_DISTORTION_KM), by the surrounding simulation which
 /// alone can see true worker locations).
 pub mod metrics {
     /// Counter: assignment snapshots served.
@@ -85,13 +83,8 @@ pub struct SnapshotOutcome {
 /// obfuscation mechanism, and the report statistics driving refreshes.
 #[derive(Debug, Clone)]
 pub struct Server {
-    graph: RoadGraph,
-    disc: Discretization,
-    aux: AuxiliaryGraph,
-    interval_dists: IntervalDistances,
+    instance: VlpInstance,
     config: ServerConfig,
-    f_p: Prior,
-    f_q: Prior,
     mechanism: Mechanism,
     epoch: u64,
     /// Quality loss of the current mechanism under the assumed priors.
@@ -132,21 +125,11 @@ impl Server {
         f_p: Prior,
         f_q: Prior,
     ) -> Result<Self, VlpError> {
-        let node_dists = NodeDistances::all_pairs(&graph);
-        let disc = Discretization::new(&graph, config.delta);
-        let k = disc.len();
-        assert_eq!(f_p.len(), k, "f_P dimension mismatch");
-        assert_eq!(f_q.len(), k, "f_Q dimension mismatch");
-        let aux = AuxiliaryGraph::build(&graph, &disc);
-        let interval_dists = IntervalDistances::build(&graph, &node_dists, &disc);
+        let instance = VlpInstance::new(graph, config.delta, f_p, f_q);
+        let k = instance.len();
         let mut server = Self {
-            graph,
-            disc,
-            aux,
-            interval_dists,
+            instance,
             config,
-            f_p,
-            f_q,
             mechanism: Mechanism::uniform(k),
             epoch: 0,
             quality_loss: f64::INFINITY,
@@ -164,28 +147,33 @@ impl Server {
     /// epoch.
     fn resolve_mechanism(&mut self) -> Result<(), VlpError> {
         let _span = vlp_obs::global().start(metrics::RESOLVE_TIME);
-        let cost = CostMatrix::build(&self.interval_dists, &self.f_p, &self.f_q);
-        let spec = reduced_spec(&self.aux, self.config.epsilon, self.config.radius);
-        let (mechanism, loss, _) = solve_column_generation(&cost, &spec, &self.config.cg)?;
-        self.mechanism = mechanism;
-        self.quality_loss = loss;
+        let solved =
+            self.instance
+                .solve(self.config.epsilon, self.config.radius, &self.config.cg)?;
+        self.mechanism = solved.mechanism;
+        self.quality_loss = solved.quality_loss;
         self.epoch += 1;
         Ok(())
     }
 
+    /// The fully prepared VLP problem instance the server solves over.
+    pub fn instance(&self) -> &VlpInstance {
+        &self.instance
+    }
+
     /// The road network this server operates on.
     pub fn graph(&self) -> &RoadGraph {
-        &self.graph
+        &self.instance.graph
     }
 
     /// The interval partition workers report against.
     pub fn disc(&self) -> &Discretization {
-        &self.disc
+        &self.instance.disc
     }
 
     /// Travel distances between intervals (server's cost model).
     pub fn interval_dists(&self) -> &IntervalDistances {
-        &self.interval_dists
+        &self.instance.interval_dists
     }
 
     /// The current obfuscation function, ready for worker download.
@@ -211,7 +199,7 @@ impl Server {
 
     /// The server's current belief about the worker location prior.
     pub fn assumed_prior(&self) -> &Prior {
-        &self.f_p
+        &self.instance.f_p
     }
 
     /// Publishes a task at the given interval and returns its id.
@@ -220,7 +208,7 @@ impl Server {
     ///
     /// Panics if `interval ≥ K`.
     pub fn publish_task(&mut self, interval: usize) -> TaskId {
-        assert!(interval < self.disc.len(), "task interval out of range");
+        assert!(interval < self.instance.len(), "task interval out of range");
         let id = TaskId(self.tasks.len());
         self.tasks.push(Task { id, interval });
         self.pending.push(id);
@@ -247,54 +235,18 @@ impl Server {
     ///
     /// Every report is also folded into the drift statistics.
     pub fn snapshot(&mut self, reports: &[(WorkerId, usize)]) -> SnapshotOutcome {
-        let obs = vlp_obs::global();
-        let _span = obs.start(metrics::SNAPSHOT_TIME);
-        obs.incr(metrics::SNAPSHOTS, 1);
-        obs.incr(metrics::REPORTS_RECEIVED, reports.len() as u64);
         for &(_, j) in reports {
             if j < self.report_counts.len() {
                 self.report_counts[j] += 1.0;
                 self.report_total += 1.0;
             }
         }
-        if reports.is_empty() || self.pending.is_empty() {
-            return SnapshotOutcome {
-                assignments: Vec::new(),
-                unassigned: self.pending.clone(),
-            };
-        }
-        // Hungarian needs rows ≤ columns: assign at most as many tasks
-        // as there are reporting workers, oldest tasks first.
-        let n_assign = self.pending.len().min(reports.len());
-        let rows: Vec<TaskId> = self.pending[..n_assign].to_vec();
-        let cost: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|&tid| {
-                let t = self.tasks[tid.0].interval;
-                reports
-                    .iter()
-                    .map(|&(_, j)| self.interval_dists.get(j, t))
-                    .collect()
-            })
-            .collect();
-        let matched = assignment::hungarian(&cost).expect("tasks <= reporting workers");
-        let mut assignments = Vec::with_capacity(n_assign);
-        for (row, &col) in matched.pairs.iter().enumerate() {
-            let (worker, reported) = reports[col];
-            let task = rows[row];
-            let est = self
-                .interval_dists
-                .get(reported, self.tasks[task.0].interval);
-            assignments.push((task, worker, est));
-        }
-        obs.incr(metrics::ASSIGNMENTS, assignments.len() as u64);
-        let est_kms: Vec<f64> = assignments.iter().map(|&(_, _, est)| est).collect();
-        obs.extend(metrics::ASSIGNMENT_EST_KM, &est_kms);
-        self.pending.drain(..n_assign);
-        SnapshotOutcome {
-            assignments,
-            unassigned: self.pending.clone(),
-        }
+        assign_snapshot(
+            &self.instance.interval_dists,
+            &self.tasks,
+            &mut self.pending,
+            reports,
+        )
     }
 
     /// Checks the drift between the assumed prior's report marginal and
@@ -311,11 +263,11 @@ impl Server {
         if self.report_total < self.config.refresh_min_reports as f64 {
             return Ok(false);
         }
-        let k = self.disc.len();
+        let k = self.instance.len();
         // Expected report marginal under the assumed prior.
         let mut expected = vec![0.0; k];
         for i in 0..k {
-            let fp = self.f_p.get(i);
+            let fp = self.instance.f_p.get(i);
             if fp > 0.0 {
                 for (j, e) in expected.iter_mut().enumerate() {
                     *e += fp * self.mechanism.prob(i, j);
@@ -336,14 +288,14 @@ impl Server {
         let mut new_prior = vec![0.0; k];
         for (j, &count) in self.report_counts.iter().enumerate() {
             if count > 0.0 {
-                let post = adversary::posterior(&self.mechanism, &self.f_p, j);
+                let post = adversary::posterior(&self.mechanism, &self.instance.f_p, j);
                 for (i, p) in post.iter().enumerate() {
                     new_prior[i] += count * p;
                 }
             }
         }
         if let Some(p) = Prior::from_weights(&new_prior) {
-            self.f_p = p;
+            self.instance.set_worker_prior(p);
         }
         self.report_counts.iter_mut().for_each(|c| *c = 0.0);
         self.report_total = 0.0;
@@ -351,6 +303,61 @@ impl Server {
         self.refreshes += 1;
         vlp_obs::global().incr(metrics::REFRESHES, 1);
         Ok(true)
+    }
+}
+
+/// The shared snapshot-assignment path: Hungarian matching of the
+/// oldest pending tasks to reporting workers using travel costs
+/// estimated from the *reported* intervals, with the standard
+/// `platform.*` telemetry. Assigned tasks are drained from `pending`.
+///
+/// Used by both [`Server::snapshot`] and the per-shard snapshot of
+/// [`crate::MechanismService`].
+pub(crate) fn assign_snapshot(
+    interval_dists: &IntervalDistances,
+    tasks: &[Task],
+    pending: &mut Vec<TaskId>,
+    reports: &[(WorkerId, usize)],
+) -> SnapshotOutcome {
+    let obs = vlp_obs::global();
+    let _span = obs.start(metrics::SNAPSHOT_TIME);
+    obs.incr(metrics::SNAPSHOTS, 1);
+    obs.incr(metrics::REPORTS_RECEIVED, reports.len() as u64);
+    if reports.is_empty() || pending.is_empty() {
+        return SnapshotOutcome {
+            assignments: Vec::new(),
+            unassigned: pending.clone(),
+        };
+    }
+    // Hungarian needs rows ≤ columns: assign at most as many tasks
+    // as there are reporting workers, oldest tasks first.
+    let n_assign = pending.len().min(reports.len());
+    let rows: Vec<TaskId> = pending[..n_assign].to_vec();
+    let cost: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|&tid| {
+            let t = tasks[tid.0].interval;
+            reports
+                .iter()
+                .map(|&(_, j)| interval_dists.get(j, t))
+                .collect()
+        })
+        .collect();
+    let matched = assignment::hungarian(&cost).expect("tasks <= reporting workers");
+    let mut assignments = Vec::with_capacity(n_assign);
+    for (row, &col) in matched.pairs.iter().enumerate() {
+        let (worker, reported) = reports[col];
+        let task = rows[row];
+        let est = interval_dists.get(reported, tasks[task.0].interval);
+        assignments.push((task, worker, est));
+    }
+    obs.incr(metrics::ASSIGNMENTS, assignments.len() as u64);
+    let est_kms: Vec<f64> = assignments.iter().map(|&(_, _, est)| est).collect();
+    obs.extend(metrics::ASSIGNMENT_EST_KM, &est_kms);
+    pending.drain(..n_assign);
+    SnapshotOutcome {
+        assignments,
+        unassigned: pending.clone(),
     }
 }
 

@@ -1,0 +1,799 @@
+//! The sharded mechanism-serving layer: many regions, one service.
+//!
+//! A city-scale deployment does not solve one giant D-VLP over the
+//! whole map — it partitions the road network into region shards
+//! ([`roadnet::Partition`]), poses an independent instance per shard,
+//! and serves vehicles from whichever shard they drive in.
+//! [`MechanismService`] is that serving layer:
+//!
+//! * **Sharding** — the graph is split into bands of near-equal node
+//!   count; each shard owns its own [`VlpInstance`] (discretization,
+//!   interval distances, cost matrix) and its own task queue.
+//! * **LRU caching** — solved mechanisms are cached per
+//!   `(shard, ε-bucket)` with a capacity bound; hits, misses, and
+//!   evictions are counted in [`vlp_obs`]. Requested budgets are
+//!   rounded *down* to the bucket grid, so the cached mechanism is
+//!   always at least as private as requested.
+//! * **Deadline fallback** — cache misses are solved on a worker pool
+//!   (`std::thread::scope`); a request whose solve misses the
+//!   configured deadline is served immediately from the closed-form
+//!   graph-Laplace baseline ([`VlpInstance::fallback`]) at the same
+//!   canonical ε. The deadline trades *quality* (the fallback is
+//!   sub-optimal), never privacy. Late solves still land in the cache
+//!   before the batch returns, so the next batch hits.
+//! * **Assignment** — obfuscated reports feed the same
+//!   Hungarian-matching snapshot path the single-region [`Server`]
+//!   uses, per shard.
+//!
+//! [`Server`]: crate::Server
+
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::RngExt;
+use roadnet::{Location, Partition, RoadGraph};
+use vlp_core::{CgOptions, Mechanism, Prior, VlpInstance};
+
+use crate::server::assign_snapshot;
+use crate::{SnapshotOutcome, Task, TaskId, WorkerId};
+
+/// Telemetry metric names recorded by [`MechanismService`].
+pub mod metrics {
+    /// Counter: obfuscation requests received across batches.
+    pub const REQUESTS: &str = "service.requests";
+    /// Timer: wall time of one `obfuscate_batch` call.
+    pub const BATCH_TIME: &str = "service.batch";
+    /// Counter: requests whose `(shard, ε-bucket)` mechanism was
+    /// already cached when the batch arrived.
+    pub const CACHE_HITS: &str = "service.cache_hits";
+    /// Counter: requests that found no cached mechanism.
+    pub const CACHE_MISSES: &str = "service.cache_misses";
+    /// Counter: cache entries evicted to respect the capacity bound.
+    pub const CACHE_EVICTIONS: &str = "service.cache_evictions";
+    /// Counter: requests served from an optimally solved mechanism
+    /// (cached or solved within the deadline).
+    pub const OPTIMAL_SERVED: &str = "service.optimal_served";
+    /// Counter: requests served from the graph-Laplace fallback
+    /// because the solve missed the deadline (or failed).
+    pub const FALLBACK_SERVED: &str = "service.fallback_served";
+    /// Timer: wall time of one per-shard mechanism solve on the
+    /// worker pool.
+    pub const SOLVE_TIME: &str = "service.solve";
+    /// Counter: solves that returned an error (the request falls back;
+    /// nothing is cached).
+    pub const SOLVE_ERRORS: &str = "service.solve_errors";
+    /// Counter: requests whose location could not be mapped into any
+    /// shard (e.g. on a dropped cross-boundary edge); they are skipped.
+    pub const OFF_PARTITION: &str = "service.off_partition";
+    /// Counter: cache entries invalidated by a shard prior update.
+    pub const PRIOR_INVALIDATIONS: &str = "service.prior_invalidations";
+}
+
+/// Configuration for [`MechanismService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of region shards to partition the map into.
+    pub n_shards: usize,
+    /// Interval length δ for each shard's discretization, km.
+    pub delta: f64,
+    /// Geo-I protection radius, km.
+    pub radius: f64,
+    /// Column-generation options for cache-miss solves.
+    pub cg: CgOptions,
+    /// Width of the ε cache buckets (per km). A requested ε is rounded
+    /// *down* to a multiple of this width, so the served mechanism is
+    /// never less private than asked for. Requests below one bucket
+    /// width are rejected.
+    pub epsilon_bucket: f64,
+    /// Maximum number of `(shard, ε-bucket)` mechanisms kept in the
+    /// LRU cache.
+    pub cache_capacity: usize,
+    /// How long one `obfuscate_batch` call synchronously waits for
+    /// cache-miss solves before serving the fallback. `ZERO` means
+    /// "never wait": every cold request is served from the fallback
+    /// (the solves still complete and populate the cache before the
+    /// call returns).
+    pub solve_deadline: Duration,
+    /// Worker threads for cache-miss solves within one batch.
+    pub solver_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 2,
+            delta: 0.2,
+            radius: f64::INFINITY,
+            cg: CgOptions::default(),
+            epsilon_bucket: 0.25,
+            cache_capacity: 64,
+            solve_deadline: Duration::from_millis(200),
+            solver_threads: 2,
+        }
+    }
+}
+
+/// Where a served mechanism came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// The optimally solved mechanism for the request's
+    /// `(shard, ε-bucket)`; `cached` is true when it was already in
+    /// the cache before this batch.
+    Optimal {
+        /// Whether the mechanism was a cache hit (vs. solved within
+        /// this batch's deadline).
+        cached: bool,
+    },
+    /// The graph-Laplace fallback: the solve missed the deadline (or
+    /// failed), so quality was sacrificed to keep ε intact.
+    Fallback,
+}
+
+/// One served obfuscation: the reported (obfuscated) position plus
+/// provenance. Locations and intervals are in the shard's local frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obfuscation {
+    /// The requesting worker.
+    pub worker: WorkerId,
+    /// The shard the worker's true location fell in.
+    pub shard: usize,
+    /// The reported interval, indexed in the shard's discretization.
+    pub interval: usize,
+    /// The reported location on the shard's local graph.
+    pub location: Location,
+    /// The canonical (bucketed) ε the served mechanism enforces —
+    /// at most the requested ε.
+    pub epsilon: f64,
+    /// Which mechanism served the request.
+    pub served: Served,
+}
+
+/// A mechanism held in the service cache.
+#[derive(Debug, Clone)]
+struct CachedSolve {
+    mechanism: Mechanism,
+    quality_loss: f64,
+}
+
+/// A minimal LRU map over `(shard, ε-bucket)` keys: recency is a
+/// monotonic tick; eviction scans for the minimum (capacities are
+/// small, and the scan is deterministic because ticks are unique).
+#[derive(Debug)]
+struct LruCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<(usize, u64), (CachedSolve, u64)>,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn contains(&self, key: (usize, u64)) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn get(&mut self, key: (usize, u64)) -> Option<&CachedSolve> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|entry| {
+            entry.1 = tick;
+            &entry.0
+        })
+    }
+
+    /// Inserts (or refreshes) an entry; returns whether another entry
+    /// was evicted to make room.
+    fn insert(&mut self, key: (usize, u64), value: CachedSolve) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(&k, _)| k)
+            {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        evicted
+    }
+
+    /// Drops every entry belonging to `shard`; returns how many.
+    fn invalidate_shard(&mut self, shard: usize) -> usize {
+        let before = self.map.len();
+        self.map.retain(|&(s, _), _| s != shard);
+        before - self.map.len()
+    }
+}
+
+/// One region shard: its VLP instance plus its task queue. Task ids
+/// are numbered per shard.
+#[derive(Debug)]
+struct Shard {
+    instance: VlpInstance,
+    tasks: Vec<Task>,
+    pending: Vec<TaskId>,
+}
+
+/// The concurrent, sharded mechanism-serving layer. See the
+/// [module docs](self) for the serving model.
+#[derive(Debug)]
+pub struct MechanismService {
+    partition: Partition,
+    shards: Vec<Shard>,
+    cache: LruCache,
+    fallbacks: HashMap<(usize, u64), Mechanism>,
+    config: ServiceConfig,
+}
+
+impl MechanismService {
+    /// Boots a service over `graph`: partitions it into
+    /// `config.n_shards` region shards and prepares one uniform-prior
+    /// [`VlpInstance`] per shard. No mechanism is solved yet — the
+    /// cache starts cold and fills on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero shards, bucket
+    /// width, capacity, or threads; non-positive δ) or the graph is too
+    /// small to partition into `n_shards` bands.
+    pub fn new(graph: RoadGraph, config: ServiceConfig) -> Self {
+        assert!(config.n_shards > 0, "need at least one shard");
+        assert!(config.delta > 0.0, "delta must be positive");
+        assert!(config.epsilon_bucket > 0.0, "bucket width must be positive");
+        assert!(config.cache_capacity > 0, "cache capacity must be positive");
+        assert!(config.solver_threads > 0, "need at least one solver thread");
+        let partition = Partition::by_bands(&graph, config.n_shards);
+        let shards = partition
+            .shards()
+            .iter()
+            .map(|s| Shard {
+                instance: VlpInstance::uniform(s.graph().clone(), config.delta),
+                tasks: Vec::new(),
+                pending: Vec::new(),
+            })
+            .collect();
+        Self {
+            partition,
+            shards,
+            cache: LruCache::new(config.cache_capacity),
+            fallbacks: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The region partition the service shards over.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of region shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The VLP instance of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard_instance(&self, s: usize) -> &VlpInstance {
+        &self.shards[s].instance
+    }
+
+    /// Number of solved mechanisms currently cached.
+    pub fn cached_mechanisms(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The quality loss (ETDD) of the cached optimal mechanism for
+    /// shard `s` at `epsilon`'s bucket, if one is cached. Does not
+    /// touch LRU recency.
+    pub fn cached_quality_loss(&self, s: usize, epsilon: f64) -> Option<f64> {
+        let (bucket, _) = self.bucket(epsilon);
+        self.cache
+            .map
+            .get(&(s, bucket))
+            .map(|entry| entry.0.quality_loss)
+    }
+
+    /// The cached optimal mechanism for shard `s` at `epsilon`'s
+    /// bucket, if one is cached. Does not touch LRU recency — use for
+    /// auditing (e.g. [`vlp_core::privacy::verify`]), not serving.
+    pub fn cached_mechanism(&self, s: usize, epsilon: f64) -> Option<&Mechanism> {
+        let (bucket, _) = self.bucket(epsilon);
+        self.cache
+            .map
+            .get(&(s, bucket))
+            .map(|entry| &entry.0.mechanism)
+    }
+
+    /// The graph-Laplace fallback mechanism for shard `s` at
+    /// `epsilon`'s bucket, if one has been built (fallbacks are built
+    /// lazily, on the first deadline miss of their key).
+    pub fn fallback_mechanism(&self, s: usize, epsilon: f64) -> Option<&Mechanism> {
+        let (bucket, _) = self.bucket(epsilon);
+        self.fallbacks.get(&(s, bucket))
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The canonical ε a request for `epsilon` is served at: `epsilon`
+    /// rounded down to the bucket grid. Always `≤ epsilon`, so the
+    /// served mechanism is at least as private as requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is below one bucket width (rounding down
+    /// would hit ε = 0, which no mechanism can satisfy usefully).
+    pub fn canonical_epsilon(&self, epsilon: f64) -> f64 {
+        self.bucket(epsilon).1
+    }
+
+    fn bucket(&self, epsilon: f64) -> (u64, f64) {
+        let width = self.config.epsilon_bucket;
+        assert!(
+            epsilon >= width,
+            "requested epsilon {epsilon} is below the bucket width {width}"
+        );
+        // The nudge keeps exact multiples (5.0 / 0.25) from flooring
+        // into the bucket below through float error.
+        let bucket = (epsilon / width + 1e-9).floor() as u64;
+        (bucket, bucket as f64 * width)
+    }
+
+    /// Updates shard `s`'s worker prior and invalidates its cached
+    /// mechanisms (they were optimal for the old prior). Fallbacks are
+    /// prior-free and stay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or the prior's dimension does not
+    /// match the shard's interval count.
+    pub fn set_worker_prior(&mut self, s: usize, f_p: Prior) {
+        self.shards[s].instance.set_worker_prior(f_p);
+        let dropped = self.cache.invalidate_shard(s);
+        vlp_obs::global().incr(metrics::PRIOR_INVALIDATIONS, dropped as u64);
+    }
+
+    /// Serves a batch of obfuscation requests `(worker, true location,
+    /// requested ε)` — the batch API vehicles hit each reporting round.
+    ///
+    /// Cache hits are served directly. Distinct missing
+    /// `(shard, ε-bucket)` keys are solved on a pool of
+    /// [`ServiceConfig::solver_threads`] scoped threads; requests whose
+    /// solve finishes within [`ServiceConfig::solve_deadline`] are
+    /// served optimally, the rest from the graph-Laplace fallback at
+    /// the same canonical ε. All finished solves are cached before the
+    /// call returns. Requests whose location lies on no shard (dropped
+    /// cross-boundary edges) are skipped and counted as
+    /// `service.off_partition`.
+    ///
+    /// Sampling uses the caller's `rng`, so runs are reproducible.
+    pub fn obfuscate_batch<R: RngExt + ?Sized>(
+        &mut self,
+        requests: &[(WorkerId, Location, f64)],
+        rng: &mut R,
+    ) -> Vec<Obfuscation> {
+        let obs = vlp_obs::global();
+        let _span = obs.start(metrics::BATCH_TIME);
+        obs.incr(metrics::REQUESTS, requests.len() as u64);
+
+        // Phase A: map requests into shards and classify hit/miss.
+        struct Resolved {
+            worker: WorkerId,
+            shard: usize,
+            local: Location,
+            key: (usize, u64),
+            canonical: f64,
+            was_hit: bool,
+        }
+        let mut resolved: Vec<Resolved> = Vec::with_capacity(requests.len());
+        let mut missing: Vec<((usize, u64), f64)> = Vec::new();
+        let mut missing_seen: HashSet<(usize, u64)> = HashSet::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for &(worker, loc, epsilon) in requests {
+            let Some((shard, local)) = self.partition.to_local(loc) else {
+                obs.incr(metrics::OFF_PARTITION, 1);
+                continue;
+            };
+            let (bucket, canonical) = self.bucket(epsilon);
+            let key = (shard, bucket);
+            let was_hit = self.cache.contains(key);
+            if was_hit {
+                hits += 1;
+            } else {
+                misses += 1;
+                if missing_seen.insert(key) {
+                    missing.push((key, canonical));
+                }
+            }
+            resolved.push(Resolved {
+                worker,
+                shard,
+                local,
+                key,
+                canonical,
+                was_hit,
+            });
+        }
+        obs.incr(metrics::CACHE_HITS, hits);
+        obs.incr(metrics::CACHE_MISSES, misses);
+
+        // Phase B: solve distinct misses on the worker pool, waiting
+        // at most `solve_deadline` before moving on. The channel drain
+        // after the deadline blocks until every solve lands, so the
+        // cache is fully warm when this call returns — only *serving*
+        // is deadline-bound.
+        type SolveOutcome = ((usize, u64), Result<CachedSolve, ()>, Duration);
+        let mut in_time: HashSet<(usize, u64)> = HashSet::new();
+        let mut finished: Vec<SolveOutcome> = Vec::new();
+        if !missing.is_empty() {
+            let shards = &self.shards;
+            let cg = &self.config.cg;
+            let radius = self.config.radius;
+            let deadline = self.config.solve_deadline;
+            let n_threads = self.config.solver_threads.min(missing.len());
+            let chunk_len = missing.len().div_ceil(n_threads);
+            thread::scope(|scope| {
+                let (tx, rx) = mpsc::channel();
+                for chunk in missing.chunks(chunk_len) {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        for &(key, eps) in chunk {
+                            let started = Instant::now();
+                            let result = shards[key.0]
+                                .instance
+                                .solve(eps, radius, cg)
+                                .map(|s| CachedSolve {
+                                    mechanism: s.mechanism,
+                                    quality_loss: s.quality_loss,
+                                })
+                                .map_err(|_| ());
+                            let _ = tx.send((key, result, started.elapsed()));
+                        }
+                    });
+                }
+                drop(tx);
+                let deadline_at = Instant::now() + deadline;
+                if !deadline.is_zero() {
+                    loop {
+                        let now = Instant::now();
+                        if now >= deadline_at {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline_at - now) {
+                            Ok(item) => {
+                                if item.1.is_ok() {
+                                    in_time.insert(item.0);
+                                }
+                                finished.push(item);
+                            }
+                            Err(_) => break, // timeout or all senders done
+                        }
+                    }
+                }
+                // Late solves: not served this batch, but cached for
+                // the next one.
+                for item in rx {
+                    finished.push(item);
+                }
+            });
+        }
+
+        // Phase C: cache everything that solved, then serve.
+        let mut fresh: HashMap<(usize, u64), CachedSolve> = HashMap::new();
+        for (key, result, elapsed) in finished {
+            obs.record_duration(metrics::SOLVE_TIME, elapsed);
+            match result {
+                Ok(solve) => {
+                    if self.cache.insert(key, solve.clone()) {
+                        obs.incr(metrics::CACHE_EVICTIONS, 1);
+                    }
+                    fresh.insert(key, solve);
+                }
+                Err(()) => obs.incr(metrics::SOLVE_ERRORS, 1),
+            }
+        }
+
+        let mut out = Vec::with_capacity(resolved.len());
+        let (mut optimal, mut fallback) = (0u64, 0u64);
+        for r in resolved {
+            let instance = &self.shards[r.shard].instance;
+            let i = instance
+                .disc
+                .locate(&instance.graph, r.local)
+                .expect("shard-local location lies on the shard");
+            let optimal_entry = if r.was_hit || in_time.contains(&r.key) {
+                // A hit can still have been evicted by this batch's own
+                // inserts; `fresh` keeps same-batch solves reachable.
+                self.cache.get(r.key).or_else(|| fresh.get(&r.key))
+            } else {
+                None
+            };
+            let (mechanism, served) = match optimal_entry {
+                Some(entry) => (&entry.mechanism, Served::Optimal { cached: r.was_hit }),
+                None => {
+                    let m = self
+                        .fallbacks
+                        .entry(r.key)
+                        .or_insert_with(|| instance.fallback(r.canonical));
+                    (&*m, Served::Fallback)
+                }
+            };
+            match served {
+                Served::Optimal { .. } => optimal += 1,
+                Served::Fallback => fallback += 1,
+            }
+            let j = mechanism.sample_interval(i, rng);
+            let location = instance
+                .disc
+                .transplant(&instance.graph, r.local, j)
+                .expect("reported interval lies on the shard");
+            out.push(Obfuscation {
+                worker: r.worker,
+                shard: r.shard,
+                interval: j,
+                location,
+                epsilon: r.canonical,
+                served,
+            });
+        }
+        obs.incr(metrics::OPTIMAL_SERVED, optimal);
+        obs.incr(metrics::FALLBACK_SERVED, fallback);
+        out
+    }
+
+    /// Publishes a task at `interval` of shard `s`; ids are numbered
+    /// per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `interval` is out of range.
+    pub fn publish_task(&mut self, s: usize, interval: usize) -> TaskId {
+        let shard = &mut self.shards[s];
+        assert!(
+            interval < shard.instance.len(),
+            "task interval out of range"
+        );
+        let id = TaskId(shard.tasks.len());
+        shard.tasks.push(Task { id, interval });
+        shard.pending.push(id);
+        id
+    }
+
+    /// Tasks of shard `s` waiting for assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn pending_tasks(&self, s: usize) -> &[TaskId] {
+        &self.shards[s].pending
+    }
+
+    /// Runs one assignment snapshot on shard `s` over reports
+    /// `(worker, reported interval)` — the same Hungarian-matching
+    /// path as [`crate::Server::snapshot`], scoped to the shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn snapshot(&mut self, s: usize, reports: &[(WorkerId, usize)]) -> SnapshotOutcome {
+        let shard = &mut self.shards[s];
+        assign_snapshot(
+            &shard.instance.interval_dists,
+            &shard.tasks,
+            &mut shard.pending,
+            reports,
+        )
+    }
+
+    /// Fans a batch of served obfuscations out into per-shard
+    /// assignment snapshots. Returns `(shard, outcome)` for every
+    /// shard that received at least one report, in shard order.
+    pub fn snapshot_batch(&mut self, reports: &[Obfuscation]) -> Vec<(usize, SnapshotOutcome)> {
+        let mut by_shard: Vec<Vec<(WorkerId, usize)>> = vec![Vec::new(); self.shards.len()];
+        for r in reports {
+            by_shard[r.shard].push((r.worker, r.interval));
+        }
+        by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, reports)| !reports.is_empty())
+            .map(|(s, reports)| {
+                let outcome = self.snapshot(s, &reports);
+                (s, outcome)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use roadnet::generators;
+    use vlp_core::privacy;
+
+    fn service(deadline: Duration) -> MechanismService {
+        let g = generators::grid(3, 4, 0.4, true);
+        MechanismService::new(
+            g,
+            ServiceConfig {
+                n_shards: 2,
+                delta: 0.2,
+                solve_deadline: deadline,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// One request per shard, placed on the first global edge that
+    /// maps into each shard (same 3×4 grid as [`service`]).
+    fn requests(svc: &MechanismService, epsilon: f64) -> Vec<(WorkerId, Location, f64)> {
+        let g = generators::grid(3, 4, 0.4, true);
+        let mut per_shard: HashMap<usize, Location> = HashMap::new();
+        for e in 0..g.edge_count() {
+            let loc = Location::new(roadnet::EdgeId(e), 0.1);
+            if let Some((s, _)) = svc.partition().to_local(loc) {
+                per_shard.entry(s).or_insert(loc);
+            }
+        }
+        (0..svc.shard_count())
+            .filter_map(|s| per_shard.get(&s).map(|&loc| (WorkerId(s), loc, epsilon)))
+            .collect()
+    }
+
+    #[test]
+    fn zero_deadline_serves_fallback_then_cache_hits() {
+        let mut svc = service(Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let reqs = requests(&svc, 5.0);
+        assert_eq!(reqs.len(), 2, "one request per shard");
+
+        let cold = svc.obfuscate_batch(&reqs, &mut rng);
+        assert_eq!(cold.len(), 2);
+        assert!(cold.iter().all(|o| o.served == Served::Fallback));
+        // The solves still landed in the cache.
+        assert_eq!(svc.cached_mechanisms(), 2);
+
+        let warm = svc.obfuscate_batch(&reqs, &mut rng);
+        assert!(warm
+            .iter()
+            .all(|o| o.served == Served::Optimal { cached: true }));
+    }
+
+    #[test]
+    fn generous_deadline_serves_optimal_on_cold_cache() {
+        let mut svc = service(Duration::from_secs(60));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let reqs = requests(&svc, 5.0);
+        let out = svc.obfuscate_batch(&reqs, &mut rng);
+        assert!(out
+            .iter()
+            .all(|o| o.served == Served::Optimal { cached: false }));
+    }
+
+    #[test]
+    fn epsilon_buckets_round_down_and_share_cache_entries() {
+        let mut svc = service(Duration::ZERO);
+        assert_eq!(svc.canonical_epsilon(5.0), 5.0);
+        assert_eq!(svc.canonical_epsilon(5.1), 5.0);
+        assert_eq!(svc.canonical_epsilon(5.24), 5.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut reqs = requests(&svc, 5.0);
+        let extra: Vec<_> = reqs.iter().map(|&(w, l, _)| (w, l, 5.2)).collect();
+        reqs.extend(extra);
+        let out = svc.obfuscate_batch(&reqs, &mut rng);
+        // 5.0 and 5.2 share a bucket: one entry per shard, and every
+        // outcome reports the canonical ε.
+        assert_eq!(svc.cached_mechanisms(), 2);
+        assert!(out.iter().all(|o| o.epsilon == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the bucket width")]
+    fn sub_bucket_epsilon_is_rejected() {
+        let svc = service(Duration::ZERO);
+        svc.canonical_epsilon(0.1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_entry() {
+        let mut cache = LruCache::new(2);
+        let entry = || CachedSolve {
+            mechanism: Mechanism::uniform(2),
+            quality_loss: 0.0,
+        };
+        assert!(!cache.insert((0, 1), entry()));
+        assert!(!cache.insert((0, 2), entry()));
+        assert!(cache.get((0, 1)).is_some()); // bump (0, 1)
+        assert!(cache.insert((0, 3), entry())); // evicts (0, 2)
+        assert!(cache.contains((0, 1)));
+        assert!(!cache.contains((0, 2)));
+        assert!(cache.contains((0, 3)));
+    }
+
+    #[test]
+    fn every_served_mechanism_passes_privacy_verify() {
+        let mut svc = service(Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let reqs = requests(&svc, 5.0);
+        let _ = svc.obfuscate_batch(&reqs, &mut rng); // fallback round
+        let _ = svc.obfuscate_batch(&reqs, &mut rng); // cached round
+        for &(_, loc, eps) in &reqs {
+            let (s, _) = svc.partition().to_local(loc).unwrap();
+            let canonical = svc.canonical_epsilon(eps);
+            let inst = svc.shard_instance(s);
+            let spec = vlp_core::PrivacySpec::full(&inst.aux, canonical, f64::INFINITY);
+            let fallback = svc.fallbacks.get(&(s, 20)).expect("fallback built");
+            assert!(privacy::verify(fallback, &spec, 1e-6));
+            let cached = svc.cache.get((s, 20)).expect("solve cached");
+            assert!(privacy::verify(&cached.mechanism, &spec, 1e-6));
+        }
+    }
+
+    #[test]
+    fn prior_update_invalidates_only_that_shard() {
+        let mut svc = service(Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let reqs = requests(&svc, 5.0);
+        let _ = svc.obfuscate_batch(&reqs, &mut rng);
+        assert_eq!(svc.cached_mechanisms(), 2);
+        let k = svc.shard_instance(0).len();
+        svc.set_worker_prior(0, Prior::uniform(k));
+        assert_eq!(svc.cached_mechanisms(), 1);
+        assert!(!svc.cache.contains((0, 20)));
+        assert!(svc.cache.contains((1, 20)));
+    }
+
+    #[test]
+    fn snapshot_batch_feeds_per_shard_assignment() {
+        let mut svc = service(Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for s in 0..svc.shard_count() {
+            svc.publish_task(s, 0);
+        }
+        let reqs = requests(&svc, 5.0);
+        let served = svc.obfuscate_batch(&reqs, &mut rng);
+        let outcomes = svc.snapshot_batch(&served);
+        assert_eq!(outcomes.len(), 2);
+        for (s, outcome) in outcomes {
+            assert_eq!(outcome.assignments.len(), 1, "shard {s} assigns its task");
+            assert!(svc.pending_tasks(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn off_partition_requests_are_skipped() {
+        let mut svc = service(Duration::ZERO);
+        let cross = svc.partition().cross_edges().to_vec();
+        if cross.is_empty() {
+            return; // nothing to test on this map
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let out = svc.obfuscate_batch(
+            &[(WorkerId(0), Location::new(cross[0], 0.1), 5.0)],
+            &mut rng,
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -23,7 +23,10 @@
 //! * [map persistence](io): lossless JSON snapshots plus a minimal text
 //!   interchange format for importing real road data;
 //! * [map composition](compose): translate, merge, and connect maps
-//!   into multi-district study areas.
+//!   into multi-district study areas;
+//! * [map partitioning](partition): split a map into strongly
+//!   connected geographic region shards for per-region mechanism
+//!   serving.
 //!
 //! # Example
 //!
@@ -48,9 +51,11 @@ pub mod generators;
 mod graph;
 pub mod io;
 mod location;
+pub mod partition;
 pub mod shortest_path;
 
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, Node, NodeId, RoadGraph, RoadGraphBuilder};
 pub use location::Location;
+pub use partition::{Partition, RegionShard};
 pub use shortest_path::{NodeDistances, ShortestPathTree, TreeDirection};

@@ -1,0 +1,135 @@
+//! Integration tests for the sharded mechanism service's deadline
+//! fallback: privacy is invariant across the fallback/optimal split,
+//! and the cache converges to exactly the mechanisms a cold solve
+//! produces.
+
+use std::time::Duration;
+
+use platform::{MechanismService, Served, ServiceConfig, WorkerId};
+use rand::SeedableRng;
+use roadnet::{generators, EdgeId, Location};
+use vlp_core::{privacy, PrivacySpec};
+
+const EPSILONS: [f64; 2] = [2.5, 5.0];
+
+fn service() -> MechanismService {
+    let graph = generators::grid(3, 4, 0.4, true);
+    MechanismService::new(
+        graph,
+        ServiceConfig {
+            n_shards: 2,
+            delta: 0.2,
+            solve_deadline: Duration::ZERO,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// One request per (shard, ε) combination.
+fn requests(svc: &MechanismService) -> Vec<(WorkerId, Location, f64)> {
+    let graph = generators::grid(3, 4, 0.4, true);
+    let mut per_shard: Vec<Option<Location>> = vec![None; svc.shard_count()];
+    for e in 0..graph.edge_count() {
+        let loc = Location::new(EdgeId(e), 0.1);
+        if let Some((s, _)) = svc.partition().to_local(loc) {
+            per_shard[s].get_or_insert(loc);
+        }
+    }
+    let mut reqs = Vec::new();
+    for (s, loc) in per_shard.iter().enumerate() {
+        let loc = loc.expect("every shard has an on-map edge");
+        for (i, &eps) in EPSILONS.iter().enumerate() {
+            reqs.push((WorkerId(s * EPSILONS.len() + i), loc, eps));
+        }
+    }
+    reqs
+}
+
+#[test]
+fn zero_deadline_cold_batch_is_all_fallback_and_geo_indistinguishable() {
+    let mut svc = service();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20_260_807);
+    let reqs = requests(&svc);
+    let served = svc.obfuscate_batch(&reqs, &mut rng);
+
+    assert_eq!(served.len(), reqs.len());
+    assert!(
+        served.iter().all(|o| o.served == Served::Fallback),
+        "a zero deadline must serve every cold request from the fallback"
+    );
+    // Every served (fallback) mechanism satisfies full ε-Geo-I at its
+    // canonical ε — the deadline trades quality, never privacy.
+    for o in &served {
+        let inst = svc.shard_instance(o.shard);
+        let spec = PrivacySpec::full(&inst.aux, o.epsilon, f64::INFINITY);
+        let mech = svc
+            .fallback_mechanism(o.shard, o.epsilon)
+            .expect("fallback was built for this key");
+        assert!(
+            privacy::verify(mech, &spec, 1e-6),
+            "fallback for shard {} at ε={} violates Geo-I",
+            o.shard,
+            o.epsilon
+        );
+    }
+}
+
+#[test]
+fn warm_batch_serves_cached_optima_bit_identical_to_cold_solves() {
+    let mut svc = service();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20_260_807);
+    let reqs = requests(&svc);
+    let _cold = svc.obfuscate_batch(&reqs, &mut rng);
+
+    let warm = svc.obfuscate_batch(&reqs, &mut rng);
+    assert!(
+        warm.iter()
+            .all(|o| o.served == Served::Optimal { cached: true }),
+        "the second batch must be served entirely from the cache"
+    );
+
+    // The cached mechanisms are bit-identical to solving the same
+    // shard instance cold, and pass privacy::verify at their ε.
+    let config = svc.config().clone();
+    for o in &warm {
+        let inst = svc.shard_instance(o.shard);
+        let cold = inst
+            .solve(o.epsilon, config.radius, &config.cg)
+            .expect("cold solve succeeds");
+        let cached = svc
+            .cached_mechanism(o.shard, o.epsilon)
+            .expect("warm batch implies a cached mechanism");
+        assert_eq!(
+            cached, &cold.mechanism,
+            "cached mechanism for shard {} at ε={} differs from a cold solve",
+            o.shard, o.epsilon
+        );
+        let spec = PrivacySpec::full(&inst.aux, o.epsilon, f64::INFINITY);
+        assert!(privacy::verify(cached, &spec, 1e-6));
+    }
+}
+
+#[test]
+fn fallback_quality_is_worse_but_privacy_is_equal() {
+    let mut svc = service();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let reqs = requests(&svc);
+    let _ = svc.obfuscate_batch(&reqs, &mut rng); // builds both paths
+    for s in 0..svc.shard_count() {
+        for &eps in &EPSILONS {
+            let inst = svc.shard_instance(s);
+            let optimal_loss = svc
+                .cached_quality_loss(s, eps)
+                .expect("solve landed in cache");
+            let fallback_loss = svc
+                .fallback_mechanism(s, eps)
+                .expect("fallback built")
+                .quality_loss(&inst.cost);
+            assert!(
+                fallback_loss >= optimal_loss - 1e-9,
+                "the LP optimum cannot lose to the closed-form fallback \
+                 (shard {s}, ε={eps}: {fallback_loss} < {optimal_loss})"
+            );
+        }
+    }
+}
