@@ -29,6 +29,19 @@ impl TransitionMatrix {
     /// with additive smoothing `alpha` so that unseen transitions keep
     /// a small positive probability (the decoder needs full support).
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use adversary::TransitionMatrix;
+    ///
+    /// // Two floating-vehicle traces over 3 intervals.
+    /// let h = TransitionMatrix::learn(3, &[vec![0, 1, 2], vec![0, 1]], 0.0);
+    /// // Every observed move out of interval 0 went to interval 1.
+    /// assert_eq!(h.prob(0, 1), 1.0);
+    /// // Interval 2 was never left: without smoothing it self-loops.
+    /// assert_eq!(h.prob(2, 2), 1.0);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `k == 0`, `alpha < 0`, or a trajectory mentions an

@@ -1,0 +1,290 @@
+//! Chaos benchmark: drives [`platform::MechanismService`] through a
+//! scripted failure schedule and gates the resilience ladder's
+//! invariants, emitting recovery telemetry as
+//! `artifacts/bench_chaos.json`.
+//!
+//! The committed schedule (see [`SCHEDULE`]) combines every failure
+//! family the ladder is built for: ~30% solver faults on both the
+//! dense and the warm-started LP paths, ~15% pricing panics, a
+//! six-batch blackout of shard [`BLACKOUT_SHARD`], an evict storm
+//! every six batches, and deadline jitter every nine. The run is
+//! deterministic — fault decisions are pure functions of the plan
+//! seed — so the gates below are exact, not statistical:
+//!
+//! * **Privacy never degrades** — after every batch, every mechanism
+//!   the service can serve from (cached optimum, stale entry,
+//!   fallback) passes `privacy::verify` against the *full* Geo-I
+//!   constraint set at its canonical ε. 100% of requests are served;
+//!   only utility is allowed to vary.
+//! * **The breaker recovers** — the blacked-out shard's breaker opens
+//!   during the outage and re-closes within
+//!   [`RECOVERY_BUDGET_BATCHES`] batches of the blackout ending; every
+//!   breaker is closed again by the end of the run.
+//! * **Faults off ⇒ bit-identical** — the same workload served under
+//!   an empty fault plan produces exactly the same obfuscations as a
+//!   service with no chaos configured at all: the ladder is inert
+//!   unless faults are injected.
+//!
+//! Flags: `--out <path>` (default `artifacts/bench_chaos.json`).
+
+use std::time::{Duration, Instant};
+
+use platform::{service, BreakerState, MechanismService, Served, ServiceConfig, WorkerId};
+use roadnet::{generators, EdgeId, Location};
+use vlp_core::privacy;
+use vlp_obs::failpoint::FaultPlan;
+
+/// Popular privacy budgets the fleet rotates through (per km).
+const EPSILONS: [f64; 3] = [2.0, 5.0, 10.0];
+
+/// Region shards the map is partitioned into.
+const N_SHARDS: usize = 4;
+
+/// Batches in the scripted run.
+const BATCHES: usize = 30;
+
+/// Vehicles per batch.
+const FLEET: usize = 36;
+
+/// The shard the schedule blacks out.
+const BLACKOUT_SHARD: usize = 1;
+
+/// First batch of the blackout (inclusive).
+const BLACKOUT_FROM: u64 = 6;
+
+/// First batch after the blackout (exclusive end).
+const BLACKOUT_TO: u64 = 12;
+
+/// Batches after the blackout ends within which the breaker must
+/// re-close (documented in `OPERATIONS.md`: one half-open probe every
+/// `breaker_cooldown` batches, each retried `max_attempts` times).
+const RECOVERY_BUDGET_BATCHES: u64 = 6;
+
+/// Seed of the fault plan (selects which ratio-mode keys fault).
+const CHAOS_SEED: u64 = 0xC4A05;
+
+/// The committed failure schedule.
+const SCHEDULE: &str = "lp.solve.fault=ratio:0.3; lp.resolve.fault=ratio:0.3; \
+     cg.pricing.panic=ratio:0.15; service.shard.blackout.1=window:6..12; \
+     service.cache.evict_storm=every:6; service.deadline.jitter=every:9";
+
+/// One on-map request location per (shard, slot) pair, round-robin, so
+/// every batch touches every shard (same shape as `bench_service`).
+fn fleet_locations(svc: &MechanismService, graph_edges: usize, per_shard: usize) -> Vec<Location> {
+    let mut by_shard: Vec<Vec<Location>> = vec![Vec::new(); svc.shard_count()];
+    for e in 0..graph_edges {
+        let loc = Location::new(EdgeId(e), 0.05);
+        if let Some((s, _)) = svc.partition().to_local(loc) {
+            if by_shard[s].len() < per_shard {
+                by_shard[s].push(loc);
+            }
+        }
+    }
+    for (s, locs) in by_shard.iter().enumerate() {
+        assert!(!locs.is_empty(), "no request location found for shard {s}");
+    }
+    let mut out = Vec::new();
+    for slot in 0..per_shard {
+        for locs in &by_shard {
+            out.push(locs[slot % locs.len()]);
+        }
+    }
+    out
+}
+
+fn service_config(chaos: FaultPlan) -> ServiceConfig {
+    ServiceConfig {
+        n_shards: N_SHARDS,
+        delta: 0.2,
+        // Generous deadline: in calm batches cache misses are solved
+        // and served optimally; only injected jitter collapses it.
+        solve_deadline: Duration::from_secs(60),
+        chaos,
+        ..ServiceConfig::default()
+    }
+}
+
+fn requests(locations: &[Location]) -> Vec<(WorkerId, Location, f64)> {
+    (0..FLEET)
+        .map(|w| {
+            (
+                WorkerId(w),
+                locations[w % locations.len()],
+                EPSILONS[w % EPSILONS.len()],
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let mut out = String::from("artifacts/bench_chaos.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out = argv.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag `{other}` (expected --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Injected pricing panics are expected and contained; keep their
+    // default panic report off the console so real panics stand out.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        if msg.is_some_and(|m| m.contains("chaos:")) {
+            return;
+        }
+        default_hook(info);
+    }));
+
+    use rand::SeedableRng;
+    let obs = vlp_obs::global();
+    let graph = generators::grid(4, 6, 0.4, true);
+    let n_edges = graph.edge_count();
+
+    // Control phase: an *empty* fault plan (even a seeded one) must be
+    // indistinguishable from no chaos configuration at all, batch for
+    // batch, bit for bit — the ladder is inert without faults.
+    {
+        let mut plain = MechanismService::new(graph.clone(), service_config(FaultPlan::default()));
+        let mut armed =
+            MechanismService::new(graph.clone(), service_config(FaultPlan::new(CHAOS_SEED)));
+        let locations = fleet_locations(&plain, n_edges, FLEET.div_ceil(N_SHARDS));
+        let reqs = requests(&locations);
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(20_260_807);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(20_260_807);
+        for batch in 0..5 {
+            let out_a = plain.obfuscate_batch(&reqs, &mut rng_a);
+            let out_b = armed.obfuscate_batch(&reqs, &mut rng_b);
+            assert_eq!(
+                out_a, out_b,
+                "faults-disabled batch {batch} must be bit-identical"
+            );
+        }
+        println!("bench_chaos: control OK — empty fault plan is bit-identical over 5 batches");
+    }
+
+    // Chaos phase: the committed schedule, telemetry from a clean slate.
+    obs.reset();
+    obs.set_run_id("bench-chaos-v1");
+    let total = Instant::now();
+    let chaos = FaultPlan::parse(SCHEDULE, CHAOS_SEED).expect("committed schedule parses");
+    let mut svc = MechanismService::new(graph, service_config(chaos));
+    let locations = fleet_locations(&svc, n_edges, FLEET.div_ceil(N_SHARDS));
+    let reqs = requests(&locations);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20_260_807);
+
+    let (mut served_optimal, mut served_stale, mut served_fallback) = (0u64, 0u64, 0u64);
+    let mut requests_total = 0u64;
+    let mut audited = 0u64;
+    for batch in 0..BATCHES {
+        let served = svc.obfuscate_batch(&reqs, &mut rng);
+        assert_eq!(
+            served.len(),
+            reqs.len(),
+            "batch {batch}: every request must be served, faults or not"
+        );
+        requests_total += served.len() as u64;
+        for o in &served {
+            match o.served {
+                Served::Optimal { .. } => served_optimal += 1,
+                Served::Stale { .. } => served_stale += 1,
+                Served::Fallback => served_fallback += 1,
+            }
+        }
+        // The privacy gate: everything the service can serve from —
+        // cached optima, stale entries, fallbacks — satisfies the full
+        // Geo-I constraint set at its canonical ε, even mid-outage.
+        for (s, eps, mechanism) in svc.live_mechanisms() {
+            let inst = svc.shard_instance(s);
+            let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
+            assert!(
+                privacy::verify(mechanism, &spec, 1e-6),
+                "batch {batch}: shard {s} mechanism at ε={eps} violates Geo-I"
+            );
+            audited += 1;
+        }
+    }
+    let elapsed = total.elapsed();
+
+    // Breaker gate: the blacked-out shard opened during the outage and
+    // re-closed within the recovery budget; everything ends closed.
+    let breaker = obs.series(&service::metrics::breaker_state_series(BLACKOUT_SHARD));
+    assert_eq!(breaker.len(), BATCHES, "one breaker sample per batch");
+    let opened = breaker[BLACKOUT_FROM as usize..BLACKOUT_TO as usize]
+        .iter()
+        .any(|&v| v == BreakerState::Open.as_f64());
+    assert!(
+        opened,
+        "the blackout must trip shard {BLACKOUT_SHARD}'s breaker"
+    );
+    let reclosed_at = (BLACKOUT_TO as usize..BATCHES)
+        .find(|&b| breaker[b] == BreakerState::Closed.as_f64())
+        .expect("breaker must re-close after the blackout");
+    let recovery = reclosed_at as u64 - BLACKOUT_TO;
+    assert!(
+        recovery <= RECOVERY_BUDGET_BATCHES,
+        "breaker re-closed {recovery} batches after the blackout \
+         (budget: {RECOVERY_BUDGET_BATCHES})"
+    );
+    for s in 0..N_SHARDS {
+        assert_eq!(
+            svc.breaker_state(s),
+            BreakerState::Closed,
+            "shard {s}'s breaker must be closed at the end of the run"
+        );
+    }
+    assert!(svc.health().ready, "the service must end the run ready");
+
+    // The schedule actually exercised every fault family.
+    for injected in [
+        "chaos.injected.lp.resolve.fault",
+        "chaos.injected.cg.pricing.panic",
+        "chaos.injected.service.shard.blackout.1",
+        "chaos.injected.service.cache.evict_storm",
+        "chaos.injected.service.deadline.jitter",
+    ] {
+        assert!(obs.counter(injected) > 0, "{injected} never fired");
+    }
+    assert!(served_stale > 0, "the outage must exercise stale serving");
+    assert!(
+        obs.counter(service::metrics::BREAKER_SHED) > 0,
+        "the open breaker must shed solves"
+    );
+
+    let denom = (served_optimal + served_stale + served_fallback) as f64;
+    obs.push("bench_chaos.optimal_share", served_optimal as f64 / denom);
+    obs.push("bench_chaos.stale_share", served_stale as f64 / denom);
+    obs.push("bench_chaos.fallback_share", served_fallback as f64 / denom);
+    obs.push("bench_chaos.recovery_batches", recovery as f64);
+    obs.incr("bench_chaos.mechanisms_audited", audited);
+    obs.record_duration("bench_chaos.total", elapsed);
+
+    let snapshot = obs.snapshot();
+    if let Err(e) = vlp_obs::schema::validate_snapshot(&snapshot) {
+        eprintln!("bench_chaos: FAIL — invalid snapshot: {e}");
+        std::process::exit(1);
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+    }
+    let mut doc = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    doc.push('\n');
+    std::fs::write(&out, doc).expect("write artifact");
+
+    println!(
+        "bench_chaos: OK — {requests_total} requests over {BATCHES} batches under `{SCHEDULE}`; \
+         served {served_optimal} optimal / {served_stale} stale / {served_fallback} fallback, \
+         {audited} mechanism audits all ε-valid, breaker re-closed {recovery} batch(es) after \
+         the blackout → {out}",
+    );
+}

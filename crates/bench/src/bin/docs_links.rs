@@ -1,0 +1,140 @@
+//! Documentation link checker: verifies that every intra-repository
+//! markdown link in the top-level docs resolves to an existing file.
+//!
+//! Scans the repo root's `*.md` files (plus `docs/` if present) for
+//! inline links — `[text](target)` — and fails listing every target
+//! that does not exist on disk. External links (`http://`, `https://`,
+//! `mailto:`) and pure in-page anchors (`#section`) are skipped;
+//! fragments on file links (`ARCHITECTURE.md#caching`) are checked
+//! against the file only. Runs in CI as the `docs-links` step.
+//!
+//! Flags: `--root <dir>` (default `.`).
+
+use std::path::{Path, PathBuf};
+
+/// Extracts inline markdown link targets — the `(...)` of `[...](...)`
+/// — from one document, with the line each was found on.
+fn link_targets(doc: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in doc.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // A link target opens at `](` and runs to the matching `)`.
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(len) = line[start..].find(')') {
+                    out.push((lineno + 1, line[start..start + len].to_string()));
+                    i = start + len;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether `target` is a link this checker should resolve on disk.
+fn is_local(target: &str) -> bool {
+    !(target.is_empty()
+        || target.starts_with('#')
+        || target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:"))
+}
+
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.to_path_buf()];
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        dirs.push(docs);
+    }
+    for dir in dirs {
+        let entries = std::fs::read_dir(&dir).expect("readable doc directory");
+        for entry in entries {
+            let path = entry.expect("readable directory entry").path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn main() {
+    let mut root = String::from(".");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => root = argv.next().expect("--root needs a directory"),
+            other => {
+                eprintln!("unknown flag `{other}` (expected --root <dir>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = PathBuf::from(root);
+
+    let mut checked = 0usize;
+    let mut broken: Vec<String> = Vec::new();
+    for file in markdown_files(&root) {
+        let doc = std::fs::read_to_string(&file).expect("readable markdown file");
+        let base = file.parent().expect("markdown file has a parent");
+        for (line, target) in link_targets(&doc) {
+            if !is_local(&target) {
+                continue;
+            }
+            // Drop an in-file fragment; the file itself must exist.
+            let path_part = target.split('#').next().unwrap_or(&target);
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !base.join(path_part).exists() {
+                broken.push(format!("{}:{line}: broken link `{target}`", file.display()));
+            }
+        }
+    }
+
+    if !broken.is_empty() {
+        eprintln!("docs_links: FAIL — {} broken link(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+    println!("docs_links: OK — {checked} intra-repo links resolve");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_targets_with_line_numbers() {
+        let doc = "intro [a](X.md) and [b](sub/Y.md#frag)\nplain line\n[c](#anchor)";
+        let targets = link_targets(doc);
+        assert_eq!(
+            targets,
+            vec![
+                (1, "X.md".to_string()),
+                (1, "sub/Y.md#frag".to_string()),
+                (3, "#anchor".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn classifies_local_vs_external_targets() {
+        assert!(is_local("ARCHITECTURE.md"));
+        assert!(is_local("crates/obs/src/lib.rs"));
+        assert!(!is_local("#caching"));
+        assert!(!is_local("https://example.com/x.md"));
+        assert!(!is_local("http://example.com"));
+        assert!(!is_local("mailto:a@b.c"));
+        assert!(!is_local(""));
+    }
+}

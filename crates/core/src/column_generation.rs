@@ -484,6 +484,14 @@ pub fn solve_column_generation(
         // Price at the smoothed duals; if that yields nothing new
         // (mispricing), retry at the exact master duals so termination
         // decisions are always made against a valid certificate.
+        //
+        // Chaos hook: a scripted failpoint can crash the pricing round
+        // outright (a worker-panic stand-in); serving layers are
+        // expected to contain the unwind and degrade, never to let it
+        // take down the process.
+        if vlp_obs::failpoint::should_fail(vlp_obs::failpoint::site::CG_PRICING_PANIC) {
+            panic!("chaos: injected column-generation pricing panic");
+        }
         let pricing_started = Instant::now();
         let mut min_zeta;
         let mut new_columns;

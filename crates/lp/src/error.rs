@@ -29,6 +29,10 @@ pub enum LpError {
     /// owns the row structure. Call
     /// [`crate::IncrementalLp::invalidate`] first to unfreeze.
     StructureFrozen,
+    /// A deterministic chaos failpoint (`vlp_obs::failpoint`) injected
+    /// this failure; the solve never ran. Only possible under an
+    /// active fault-injection scope — production paths never see it.
+    FaultInjected,
 }
 
 impl fmt::Display for LpError {
@@ -48,6 +52,7 @@ impl fmt::Display for LpError {
                 f,
                 "constraint rows are frozen after the first solve; call invalidate() first"
             ),
+            LpError::FaultInjected => write!(f, "solver failure injected by a chaos failpoint"),
         }
     }
 }

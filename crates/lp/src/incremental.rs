@@ -343,10 +343,36 @@ impl IncrementalLp {
     /// (no phase 1), appended columns price in on top of it. Any warm
     /// numerical failure falls back to a cold solve transparently.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use lpsolve::{IncrementalLp, Relation};
+    ///
+    /// // minimize 2x₀ + x₁  s.t.  x₀ + x₁ ≥ 1
+    /// let mut lp = IncrementalLp::new(2);
+    /// lp.set_objective(&[(0, 2.0), (1, 1.0)])?;
+    /// lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 1.0)?;
+    /// let cold = lp.resolve()?;
+    /// assert_eq!(cold.objective, 1.0);
+    /// assert!(!lp.last_stats().warm); // first solve is cold
+    ///
+    /// let warm = lp.resolve()?; // nothing changed: zero-pivot re-price
+    /// assert_eq!(warm.objective, 1.0);
+    /// assert!(lp.last_stats().warm);
+    /// # Ok::<(), lpsolve::LpError>(())
+    /// ```
+    ///
     /// # Errors
     ///
-    /// Same failure modes as [`LinearProgram::solve`].
+    /// Same failure modes as [`LinearProgram::solve`], plus
+    /// [`LpError::FaultInjected`] under an active chaos failpoint
+    /// scope whose schedule fires `lp.resolve.fault` (the warm state
+    /// is left untouched, so a retried resolve behaves as if the
+    /// injected failure never happened).
     pub fn resolve(&mut self) -> Result<Solution, LpError> {
+        if vlp_obs::failpoint::should_fail(vlp_obs::failpoint::site::LP_RESOLVE) {
+            return Err(LpError::FaultInjected);
+        }
         let started = Instant::now();
         let mut stats = SolveStats::default();
         let mut rs = ResolveStats::default();

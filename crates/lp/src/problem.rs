@@ -159,8 +159,15 @@ impl LinearProgram {
     ///
     /// * [`LpError::Infeasible`] if no feasible point exists;
     /// * [`LpError::Unbounded`] if the minimum is −∞;
-    /// * [`LpError::IterationLimit`] on pathological numerical behaviour.
+    /// * [`LpError::IterationLimit`] on pathological numerical behaviour;
+    /// * [`LpError::FaultInjected`] under an active chaos failpoint
+    ///   scope whose schedule fires `lp.solve.fault` — the hook
+    ///   resilience harnesses use to script solver outages
+    ///   deterministically (see `vlp_obs::failpoint`).
     pub fn solve(&self) -> Result<Solution, LpError> {
+        if vlp_obs::failpoint::should_fail(vlp_obs::failpoint::site::LP_SOLVE) {
+            return Err(LpError::FaultInjected);
+        }
         simplex::solve(self)
     }
 }

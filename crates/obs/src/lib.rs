@@ -31,9 +31,15 @@
 //! Counters and series are deterministic for a deterministic workload;
 //! timer values are wall-clock and excluded from reproducibility
 //! comparisons.
+//!
+//! The crate also hosts [`failpoint`], the workspace's deterministic
+//! fault-injection subsystem: seeded, schedule-driven failpoints that
+//! the serving layer scripts (`chaos.*` metric families land in the
+//! same registry), so resilience is tested with the same
+//! reproducibility guarantees as performance.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
@@ -41,6 +47,7 @@ use std::time::{Duration, Instant};
 
 use serde_json::{json, Map, Value};
 
+pub mod failpoint;
 pub mod schema;
 
 /// Version of the snapshot JSON layout. Bump when the shape of the

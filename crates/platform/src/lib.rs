@@ -25,7 +25,10 @@
 //! For city-scale serving, [`MechanismService`] shards the map into
 //! regions, caches solved mechanisms per `(shard, ε-bucket)` in a
 //! bounded LRU, and serves under a solve deadline with a
-//! privacy-preserving graph-Laplace fallback — see [`service`].
+//! privacy-preserving graph-Laplace fallback — see [`service`]. The
+//! service also climbs a *resilience ladder* (retry → circuit breaker →
+//! stale serving → fallback) under injected faults, degrading utility
+//! but never the ε-Geo-I guarantee; `OPERATIONS.md` is the runbook.
 //!
 //! # Example
 //!
@@ -58,7 +61,10 @@ mod worker;
 
 pub use server::metrics;
 pub use server::{Server, ServerConfig, SnapshotOutcome};
-pub use service::{MechanismService, Obfuscation, Served, ServiceConfig};
+pub use service::{
+    BreakerState, MechanismService, Obfuscation, ResilienceConfig, Served, ServiceConfig,
+    ServiceHealth, ShardHealth,
+};
 pub use simulation::{Simulation, SimulationConfig, SimulationReport};
 pub use worker::{Worker, WorkerId, WorkerStatus};
 

@@ -25,16 +25,54 @@
 //!   Hungarian-matching snapshot path the single-region [`Server`]
 //!   uses, per shard.
 //!
+//! # The resilience ladder
+//!
+//! Failure is a first-class input: solver errors, pricing panics,
+//! shard blackouts, cache purges, and deadline jitter can all be
+//! scripted deterministically through [`vlp_obs::failpoint`]
+//! ([`ServiceConfig::chaos`]), and the service climbs a fixed ladder
+//! of degradations to survive them — each rung trades more *quality*,
+//! never privacy (see `OPERATIONS.md` for the full runbook):
+//!
+//! 1. **Retry** — a failed or panicking solve is retried up to
+//!    [`ResilienceConfig::max_attempts`] times with deterministic
+//!    exponential backoff plus seeded jitter;
+//! 2. **Circuit breaker** — each shard carries a
+//!    closed → open → half-open breaker
+//!    ([`BreakerState`]); after
+//!    [`ResilienceConfig::breaker_threshold`] consecutive solve
+//!    failures the shard's solves are shed entirely for
+//!    [`ResilienceConfig::breaker_cooldown`] batches, then probed with
+//!    a single solve before re-closing;
+//! 3. **Stale serving** — mechanisms displaced from the cache
+//!    (LRU eviction, prior invalidation, evict storms) are demoted to
+//!    a bounded *stale* store instead of dropped; when a solve fails
+//!    or is shed, the stale mechanism is served with explicit
+//!    staleness accounting ([`Served::Stale`]) — it was solved at the
+//!    same canonical ε against the same interval graph, so it is
+//!    exactly as private as a fresh optimum, merely suboptimal;
+//! 4. **Fallback** — with nothing cached and nothing stale, the
+//!    closed-form graph-Laplace fallback serves at the same ε, as
+//!    before.
+//!
+//! The invariant at every rung: **the served mechanism satisfies
+//! full-spec ε-Geo-I at the canonical ε**. With no faults injected the
+//! ladder is inert and the service behaves bit-identically to the
+//! ladder-free implementation (`bench_chaos` gates this in CI).
+//!
 //! [`Server`]: crate::Server
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use rand::RngExt;
 use roadnet::{Location, Partition, RoadGraph};
 use vlp_core::{CgOptions, Mechanism, Prior, VlpInstance};
+use vlp_obs::failpoint::{self, site, FaultPlan};
 
 use crate::server::assign_snapshot;
 use crate::{SnapshotOutcome, Task, TaskId, WorkerId};
@@ -69,6 +107,38 @@ pub mod metrics {
     pub const OFF_PARTITION: &str = "service.off_partition";
     /// Counter: cache entries invalidated by a shard prior update.
     pub const PRIOR_INVALIDATIONS: &str = "service.prior_invalidations";
+    /// Counter: solve attempts beyond the first (ladder rung 1). Each
+    /// retry is preceded by deterministic exponential backoff.
+    pub const RETRY_ATTEMPTS: &str = "service.retry.attempts";
+    /// Counter: solve attempts that panicked (e.g. an injected pricing
+    /// panic) and were contained by the worker's unwind boundary.
+    pub const PANICS_CAUGHT: &str = "service.solve_panics";
+    /// Counter: requests served from the stale store (ladder rung 3):
+    /// a previously optimal mechanism for the same `(shard, ε-bucket)`
+    /// that had been displaced from the cache.
+    pub const STALE_SERVED: &str = "service.stale_served";
+    /// Counter: cache entries demoted to the stale store (LRU
+    /// eviction, prior invalidation, or an evict storm).
+    pub const STALE_DEMOTIONS: &str = "service.stale_demotions";
+    /// Counter: breaker transitions into `Open` (ladder rung 2).
+    pub const BREAKER_OPENED: &str = "service.breaker.opened";
+    /// Counter: breaker transitions `Open` → `HalfOpen` after the
+    /// cooldown, admitting one probe solve.
+    pub const BREAKER_HALF_OPEN: &str = "service.breaker.half_open";
+    /// Counter: breaker transitions `HalfOpen` → `Closed` (a probe
+    /// solve succeeded; the shard recovered).
+    pub const BREAKER_RECLOSED: &str = "service.breaker.reclosed";
+    /// Counter: cache-miss solves shed without an attempt because the
+    /// shard's breaker was open (or its half-open probe slot was
+    /// taken).
+    pub const BREAKER_SHED: &str = "service.breaker.shed";
+
+    /// Series name recording shard `s`'s breaker state once per batch:
+    /// `0` closed, `1` half-open, `2` open. Part of the service's
+    /// health snapshot in the `vlp-obs` schema.
+    pub fn breaker_state_series(s: usize) -> String {
+        format!("service.breaker.state.{s}")
+    }
 }
 
 /// Configuration for [`MechanismService`].
@@ -98,6 +168,14 @@ pub struct ServiceConfig {
     pub solve_deadline: Duration,
     /// Worker threads for cache-miss solves within one batch.
     pub solver_threads: usize,
+    /// Retry, breaker, and stale-store tuning for the resilience
+    /// ladder (see the [module docs](self)).
+    pub resilience: ResilienceConfig,
+    /// Deterministic fault-injection schedule. The default (empty)
+    /// plan injects nothing and leaves every ladder rung inert; chaos
+    /// harnesses like `bench_chaos` script solver faults, shard
+    /// blackouts, evict storms, and deadline jitter through it.
+    pub chaos: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -111,6 +189,146 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             solve_deadline: Duration::from_millis(200),
             solver_threads: 2,
+            resilience: ResilienceConfig::default(),
+            chaos: FaultPlan::default(),
+        }
+    }
+}
+
+/// Tuning for the resilience ladder: bounded retry (rung 1), the
+/// per-shard circuit breaker (rung 2), and the stale store (rung 3).
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Total solve attempts per `(shard, ε-bucket)` per batch,
+    /// including the first (≥ 1). Attempts beyond the first are
+    /// counted as [`metrics::RETRY_ATTEMPTS`].
+    pub max_attempts: u32,
+    /// Base backoff before the first retry; attempt `n` waits
+    /// `min(backoff_base · 2ⁿ⁻¹, backoff_cap)` plus deterministic
+    /// jitter in `[0, backoff_base)` seeded from the chaos plan.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff term.
+    pub backoff_cap: Duration,
+    /// Consecutive solve failures (retries exhausted) that trip a
+    /// shard's breaker from `Closed` to `Open`.
+    pub breaker_threshold: u32,
+    /// Batches a breaker stays `Open` before moving to `HalfOpen` and
+    /// admitting a single probe solve.
+    pub breaker_cooldown: u64,
+    /// Maximum `(shard, ε-bucket)` entries kept in the stale store;
+    /// the oldest demotion is dropped first.
+    pub stale_capacity: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(10),
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            stale_capacity: 64,
+        }
+    }
+}
+
+/// The per-shard circuit-breaker state (ladder rung 2).
+///
+/// ```text
+///            ≥ threshold consecutive
+///            solve failures
+///  Closed ───────────────────────────► Open
+///    ▲                                  │ cooldown batches elapse
+///    │ probe solve                      ▼
+///    └────────────────────────────── HalfOpen
+///      succeeds          (probe fails: back to Open)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: cache-miss solves run on the worker pool.
+    Closed,
+    /// The shard's solves are shed without an attempt; requests are
+    /// served from the stale store or the fallback.
+    Open,
+    /// The cooldown elapsed: exactly one probe solve per batch is
+    /// admitted; success re-closes, failure re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding used by [`metrics::breaker_state_series`]:
+    /// `0` closed, `1` half-open, `2` open.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+/// One shard's circuit breaker. All transitions happen at
+/// deterministic points of `obfuscate_batch` (tick at batch start,
+/// success/failure accounting in solve-key order), so breaker
+/// trajectories are reproducible for a given fault schedule.
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+        }
+    }
+
+    /// Batch-start transition: `Open` → `HalfOpen` once the cooldown
+    /// has elapsed. Returns whether the transition happened.
+    fn tick(&mut self, batch: u64, cooldown: u64) -> bool {
+        if self.state == BreakerState::Open && batch >= self.opened_at.saturating_add(cooldown) {
+            self.state = BreakerState::HalfOpen;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records one solve failure (retries exhausted, or a blackout).
+    /// Returns whether the breaker transitioned to `Open`.
+    fn on_failure(&mut self, batch: u64, threshold: u32) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::Closed if self.consecutive_failures >= threshold => {
+                self.state = BreakerState::Open;
+                self.opened_at = batch;
+                true
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = batch;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records one successful solve. Returns whether a half-open
+    /// breaker re-closed. A success while `Open` (a solve raced the
+    /// trip in the same batch) resets the failure run but stays open —
+    /// recovery is only ever declared by a half-open probe.
+    fn on_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            true
+        } else {
+            false
         }
     }
 }
@@ -126,8 +344,20 @@ pub enum Served {
         /// this batch's deadline).
         cached: bool,
     },
+    /// A previously solved optimal mechanism for the same
+    /// `(shard, ε-bucket)`, served from the stale store because the
+    /// fresh solve failed or was shed by an open breaker. Same
+    /// canonical ε and interval graph as a fresh optimum — identical
+    /// privacy, possibly suboptimal quality (e.g. solved under an
+    /// outdated prior).
+    Stale {
+        /// Batches elapsed since the mechanism was demoted from the
+        /// primary cache.
+        age_batches: u64,
+    },
     /// The graph-Laplace fallback: the solve missed the deadline (or
-    /// failed), so quality was sacrificed to keep ε intact.
+    /// failed with nothing stale to serve), so quality was sacrificed
+    /// to keep ε intact.
     Fallback,
 }
 
@@ -155,6 +385,27 @@ pub struct Obfuscation {
 struct CachedSolve {
     mechanism: Mechanism,
     quality_loss: f64,
+}
+
+/// What happened to one distinct cache-miss `(shard, ε-bucket)` key.
+/// `Solved`/`Failed` carry `(elapsed, retries, panics-caught)` from the
+/// worker; `Blackout` and `Shed` never reached the pool.
+enum MissOutcome {
+    Solved(CachedSolve, Duration, u32, u32),
+    Failed(Duration, u32, u32),
+    Blackout,
+    Shed,
+}
+
+/// The failpoint evaluation key for one solve attempt: a pure mix of
+/// `(batch, shard, ε-bucket, attempt)`, so fault schedules are
+/// independent of how solves are distributed over worker threads.
+fn solve_key(batch: u64, key: (usize, u64), attempt: u32) -> u64 {
+    batch
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((key.0 as u64).rotate_left(40))
+        .wrapping_add(key.1.rotate_left(20))
+        .wrapping_add(u64::from(attempt))
 }
 
 /// A minimal LRU map over `(shard, ε-bucket)` keys: recency is a
@@ -193,11 +444,16 @@ impl LruCache {
         })
     }
 
-    /// Inserts (or refreshes) an entry; returns whether another entry
-    /// was evicted to make room.
-    fn insert(&mut self, key: (usize, u64), value: CachedSolve) -> bool {
+    /// Inserts (or refreshes) an entry; returns the entry evicted to
+    /// make room, if any, so the caller can demote it to the stale
+    /// store instead of losing it.
+    fn insert(
+        &mut self,
+        key: (usize, u64),
+        value: CachedSolve,
+    ) -> Option<((usize, u64), CachedSolve)> {
         self.tick += 1;
-        let mut evicted = false;
+        let mut evicted = None;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
@@ -205,39 +461,101 @@ impl LruCache {
                 .min_by_key(|(_, (_, tick))| *tick)
                 .map(|(&k, _)| k)
             {
-                self.map.remove(&oldest);
-                evicted = true;
+                let (entry, _) = self.map.remove(&oldest).expect("oldest key present");
+                evicted = Some((oldest, entry));
             }
         }
         self.map.insert(key, (value, self.tick));
         evicted
     }
 
-    /// Drops every entry belonging to `shard`; returns how many.
-    fn invalidate_shard(&mut self, shard: usize) -> usize {
-        let before = self.map.len();
-        self.map.retain(|&(s, _), _| s != shard);
-        before - self.map.len()
+    /// Removes every entry belonging to `shard` and returns them (in
+    /// key order) for demotion to the stale store.
+    fn invalidate_shard(&mut self, shard: usize) -> Vec<((usize, u64), CachedSolve)> {
+        self.drain_where(|&(s, _)| s == shard)
+    }
+
+    /// Removes every entry (an evict storm) and returns them in key
+    /// order.
+    fn drain_all(&mut self) -> Vec<((usize, u64), CachedSolve)> {
+        self.drain_where(|_| true)
+    }
+
+    fn drain_where(
+        &mut self,
+        pred: impl Fn(&(usize, u64)) -> bool,
+    ) -> Vec<((usize, u64), CachedSolve)> {
+        let mut keys: Vec<(usize, u64)> = self.map.keys().filter(|k| pred(k)).copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|k| {
+                let (entry, _) = self.map.remove(&k).expect("key listed above");
+                (k, entry)
+            })
+            .collect()
     }
 }
 
-/// One region shard: its VLP instance plus its task queue. Task ids
-/// are numbered per shard.
+/// One region shard: its VLP instance, its task queue, and its
+/// circuit breaker. Task ids are numbered per shard.
 #[derive(Debug)]
 struct Shard {
     instance: VlpInstance,
     tasks: Vec<Task>,
     pending: Vec<TaskId>,
+    breaker: Breaker,
+}
+
+/// One shard's slice of the service health snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// The shard index.
+    pub shard: usize,
+    /// The shard's breaker state.
+    pub breaker: BreakerState,
+    /// Consecutive solve failures in the current run (resets on any
+    /// success).
+    pub consecutive_failures: u32,
+    /// The batch at which the breaker last opened, when not `Closed`.
+    pub opened_at_batch: Option<u64>,
+    /// Solved mechanisms currently cached for this shard.
+    pub cached: usize,
+    /// Mechanisms held in the stale store for this shard.
+    pub stale: usize,
+}
+
+/// A readiness/health snapshot of the service, for operators and
+/// harnesses. The same information is exported per batch through the
+/// `vlp-obs` registry (`service.breaker.state.<s>` series plus the
+/// `service.*`/`chaos.*` counters) — see `OPERATIONS.md`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceHealth {
+    /// Batches served so far.
+    pub batches: u64,
+    /// Whether every shard's breaker is closed (full capacity; no
+    /// degraded serving beyond deadline fallbacks).
+    pub ready: bool,
+    /// Per-shard detail, in shard order.
+    pub shards: Vec<ShardHealth>,
 }
 
 /// The concurrent, sharded mechanism-serving layer. See the
-/// [module docs](self) for the serving model.
+/// [module docs](self) for the serving model and the resilience
+/// ladder.
 #[derive(Debug)]
 pub struct MechanismService {
     partition: Partition,
     shards: Vec<Shard>,
     cache: LruCache,
+    /// Ladder rung 3: mechanisms displaced from the primary cache,
+    /// keyed like it, each tagged with the batch of its demotion.
+    stale: HashMap<(usize, u64), (CachedSolve, u64)>,
     fallbacks: HashMap<(usize, u64), Mechanism>,
+    /// The fault-injection schedule, shared with solver workers.
+    chaos: Arc<FaultPlan>,
+    /// Batches served so far; the key for batch-scoped failpoints and
+    /// staleness ages.
+    batches: u64,
     config: ServiceConfig,
 }
 
@@ -258,6 +576,18 @@ impl MechanismService {
         assert!(config.epsilon_bucket > 0.0, "bucket width must be positive");
         assert!(config.cache_capacity > 0, "cache capacity must be positive");
         assert!(config.solver_threads > 0, "need at least one solver thread");
+        assert!(
+            config.resilience.max_attempts > 0,
+            "need at least one solve attempt"
+        );
+        assert!(
+            config.resilience.breaker_threshold > 0,
+            "breaker threshold must be positive"
+        );
+        assert!(
+            config.resilience.stale_capacity > 0,
+            "stale capacity must be positive"
+        );
         let partition = Partition::by_bands(&graph, config.n_shards);
         let shards = partition
             .shards()
@@ -266,13 +596,18 @@ impl MechanismService {
                 instance: VlpInstance::uniform(s.graph().clone(), config.delta),
                 tasks: Vec::new(),
                 pending: Vec::new(),
+                breaker: Breaker::new(),
             })
             .collect();
+        let chaos = Arc::new(config.chaos.clone());
         Self {
             partition,
             shards,
             cache: LruCache::new(config.cache_capacity),
+            stale: HashMap::new(),
             fallbacks: HashMap::new(),
+            chaos,
+            batches: 0,
             config,
         }
     }
@@ -331,6 +666,106 @@ impl MechanismService {
         self.fallbacks.get(&(s, bucket))
     }
 
+    /// Number of mechanisms currently held in the stale store.
+    pub fn stale_mechanisms(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// The stale mechanism for shard `s` at `epsilon`'s bucket, if one
+    /// is held, with the batch it was demoted at.
+    pub fn stale_mechanism(&self, s: usize, epsilon: f64) -> Option<(&Mechanism, u64)> {
+        let (bucket, _) = self.bucket(epsilon);
+        self.stale
+            .get(&(s, bucket))
+            .map(|(entry, demoted)| (&entry.mechanism, *demoted))
+    }
+
+    /// Batches served so far.
+    pub fn batches_served(&self) -> u64 {
+        self.batches
+    }
+
+    /// The breaker state of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn breaker_state(&self, s: usize) -> BreakerState {
+        self.shards[s].breaker.state
+    }
+
+    /// A point-in-time health/readiness snapshot: per-shard breaker
+    /// states, failure runs, and cache/stale occupancy. The same data
+    /// lands in the `vlp-obs` registry every batch.
+    pub fn health(&self) -> ServiceHealth {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| ShardHealth {
+                shard: s,
+                breaker: shard.breaker.state,
+                consecutive_failures: shard.breaker.consecutive_failures,
+                opened_at_batch: (shard.breaker.state != BreakerState::Closed)
+                    .then_some(shard.breaker.opened_at),
+                cached: self.cache.map.keys().filter(|&&(sh, _)| sh == s).count(),
+                stale: self.stale.keys().filter(|&&(sh, _)| sh == s).count(),
+            })
+            .collect::<Vec<_>>();
+        ServiceHealth {
+            batches: self.batches,
+            ready: shards.iter().all(|h| h.breaker == BreakerState::Closed),
+            shards,
+        }
+    }
+
+    /// Every mechanism the service currently holds — cached optima,
+    /// stale entries, and built fallbacks — as
+    /// `(shard, canonical ε, mechanism)`, in a deterministic order.
+    /// Chaos harnesses audit each against full-spec
+    /// [`vlp_core::privacy::verify`]: everything servable must satisfy
+    /// ε-Geo-I at its canonical ε, whatever rung it sits on.
+    pub fn live_mechanisms(&self) -> Vec<(usize, f64, &Mechanism)> {
+        let width = self.config.epsilon_bucket;
+        let mut out: Vec<(usize, u64, &Mechanism)> = Vec::new();
+        out.extend(
+            self.cache
+                .map
+                .iter()
+                .map(|(&(s, b), (entry, _))| (s, b, &entry.mechanism)),
+        );
+        out.extend(
+            self.stale
+                .iter()
+                .map(|(&(s, b), (entry, _))| (s, b, &entry.mechanism)),
+        );
+        out.extend(self.fallbacks.iter().map(|(&(s, b), m)| (s, b, m)));
+        out.sort_by_key(|&(s, b, _)| (s, b));
+        out.into_iter()
+            .map(|(s, b, m)| (s, b as f64 * width, m))
+            .collect()
+    }
+
+    /// Demotes a displaced cache entry into the bounded stale store
+    /// (ladder rung 3), evicting the oldest demotion on overflow.
+    fn demote(&mut self, key: (usize, u64), entry: CachedSolve, batch: u64) {
+        if !self.stale.contains_key(&key)
+            && self.stale.len() >= self.config.resilience.stale_capacity
+        {
+            if let Some(&victim) = self
+                .stale
+                .iter()
+                .map(|(k, &(_, demoted))| (demoted, k))
+                .min()
+                .map(|(_, k)| k)
+            {
+                self.stale.remove(&victim);
+            }
+        }
+        self.stale.insert(key, (entry, batch));
+        vlp_obs::global().incr(metrics::STALE_DEMOTIONS, 1);
+    }
+
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
@@ -371,7 +806,13 @@ impl MechanismService {
     pub fn set_worker_prior(&mut self, s: usize, f_p: Prior) {
         self.shards[s].instance.set_worker_prior(f_p);
         let dropped = self.cache.invalidate_shard(s);
-        vlp_obs::global().incr(metrics::PRIOR_INVALIDATIONS, dropped as u64);
+        vlp_obs::global().incr(metrics::PRIOR_INVALIDATIONS, dropped.len() as u64);
+        // The displaced mechanisms are optimal for the *old* prior:
+        // stale in quality, identical in privacy — demote, don't drop.
+        let batch = self.batches;
+        for (key, entry) in dropped {
+            self.demote(key, entry, batch);
+        }
     }
 
     /// Serves a batch of obfuscation requests `(worker, true location,
@@ -387,6 +828,14 @@ impl MechanismService {
     /// cross-boundary edges) are skipped and counted as
     /// `service.off_partition`.
     ///
+    /// Under an injected fault schedule ([`ServiceConfig::chaos`]) the
+    /// resilience ladder engages: failed solve attempts retry with
+    /// backoff, shards with open breakers shed their solves, and keys
+    /// whose solve failed (or was shed) are served from the stale store
+    /// when possible ([`Served::Stale`]) — otherwise from the fallback.
+    /// A plain deadline miss is *not* a failure: it serves the fallback
+    /// exactly as in the fault-free service.
+    ///
     /// Sampling uses the caller's `rng`, so runs are reproducible.
     pub fn obfuscate_batch<R: RngExt + ?Sized>(
         &mut self,
@@ -396,6 +845,40 @@ impl MechanismService {
         let obs = vlp_obs::global();
         let _span = obs.start(metrics::BATCH_TIME);
         obs.incr(metrics::REQUESTS, requests.len() as u64);
+        let batch = self.batches;
+        self.batches += 1;
+
+        // Batch-scoped chaos: deadline jitter, evict storms, and shard
+        // blackouts are keyed by the batch index, so a schedule reads
+        // as a timeline. With an empty plan this block is inert.
+        let plan = Arc::clone(&self.chaos);
+        let chaos_on = !plan.is_empty();
+        let mut effective_deadline = self.config.solve_deadline;
+        let mut blackout: HashSet<usize> = HashSet::new();
+        if chaos_on {
+            if plan.evaluate(site::SERVICE_DEADLINE_JITTER, batch) {
+                effective_deadline = Duration::ZERO;
+            }
+            if plan.evaluate(site::SERVICE_EVICT_STORM, batch) {
+                for (key, entry) in self.cache.drain_all() {
+                    self.demote(key, entry, batch);
+                }
+            }
+            for s in 0..self.shards.len() {
+                if plan.evaluate(&site::shard_blackout(s), batch) {
+                    blackout.insert(s);
+                }
+            }
+        }
+
+        // Breaker tick: open breakers whose cooldown elapsed admit one
+        // probe this batch.
+        let cooldown = self.config.resilience.breaker_cooldown;
+        for shard in &mut self.shards {
+            if shard.breaker.tick(batch, cooldown) {
+                obs.incr(metrics::BREAKER_HALF_OPEN, 1);
+            }
+        }
 
         // Phase A: map requests into shards and classify hit/miss.
         struct Resolved {
@@ -438,43 +921,99 @@ impl MechanismService {
         obs.incr(metrics::CACHE_HITS, hits);
         obs.incr(metrics::CACHE_MISSES, misses);
 
-        // Phase B: solve distinct misses on the worker pool, waiting
-        // at most `solve_deadline` before moving on. The channel drain
-        // after the deadline blocks until every solve lands, so the
-        // cache is fully warm when this call returns — only *serving*
-        // is deadline-bound.
-        type SolveOutcome = ((usize, u64), Result<CachedSolve, ()>, Duration);
+        // Gate misses through the breakers: open shards shed, half-open
+        // shards admit one probe, blacked-out shards fail instantly.
+        let mut to_solve: Vec<((usize, u64), f64)> = Vec::new();
+        let mut outcomes: Vec<((usize, u64), MissOutcome)> = Vec::new();
+        let mut probe_used: HashSet<usize> = HashSet::new();
+        for &(key, eps) in &missing {
+            match self.shards[key.0].breaker.state {
+                BreakerState::Open => outcomes.push((key, MissOutcome::Shed)),
+                BreakerState::HalfOpen if !probe_used.insert(key.0) => {
+                    outcomes.push((key, MissOutcome::Shed));
+                }
+                _ if blackout.contains(&key.0) => outcomes.push((key, MissOutcome::Blackout)),
+                _ => to_solve.push((key, eps)),
+            }
+        }
+
+        // Phase B: solve the admitted misses on the worker pool,
+        // waiting at most the (possibly jittered) deadline before
+        // moving on. The channel drain after the deadline blocks until
+        // every solve lands, so the cache is fully warm when this call
+        // returns — only *serving* is deadline-bound. Each attempt runs
+        // under a failpoint scope keyed by `(batch, key, attempt)` and
+        // an unwind boundary, so injected errors and panics retry with
+        // deterministic backoff (ladder rung 1).
         let mut in_time: HashSet<(usize, u64)> = HashSet::new();
-        let mut finished: Vec<SolveOutcome> = Vec::new();
-        if !missing.is_empty() {
+        if !to_solve.is_empty() {
             let shards = &self.shards;
             let cg = &self.config.cg;
             let radius = self.config.radius;
-            let deadline = self.config.solve_deadline;
-            let n_threads = self.config.solver_threads.min(missing.len());
-            let chunk_len = missing.len().div_ceil(n_threads);
+            let max_attempts = self.config.resilience.max_attempts;
+            let base_ns = self.config.resilience.backoff_base.as_nanos() as u64;
+            let cap_ns = self.config.resilience.backoff_cap.as_nanos() as u64;
+            let n_threads = self.config.solver_threads.min(to_solve.len());
+            let chunk_len = to_solve.len().div_ceil(n_threads);
             thread::scope(|scope| {
                 let (tx, rx) = mpsc::channel();
-                for chunk in missing.chunks(chunk_len) {
+                for chunk in to_solve.chunks(chunk_len) {
                     let tx = tx.clone();
+                    let plan = Arc::clone(&plan);
                     scope.spawn(move || {
                         for &(key, eps) in chunk {
                             let started = Instant::now();
-                            let result = shards[key.0]
-                                .instance
-                                .solve(eps, radius, cg)
-                                .map(|s| CachedSolve {
-                                    mechanism: s.mechanism,
-                                    quality_loss: s.quality_loss,
-                                })
-                                .map_err(|_| ());
-                            let _ = tx.send((key, result, started.elapsed()));
+                            let mut retries = 0u32;
+                            let mut panics = 0u32;
+                            let mut solved: Option<CachedSolve> = None;
+                            for attempt in 1..=max_attempts {
+                                if attempt > 1 {
+                                    retries += 1;
+                                    let exp = base_ns
+                                        .saturating_mul(1u64 << (attempt - 2).min(20))
+                                        .min(cap_ns);
+                                    let jitter = failpoint::backoff_jitter_ns(
+                                        plan.seed(),
+                                        solve_key(batch, key, 0),
+                                        attempt,
+                                        base_ns,
+                                    );
+                                    thread::sleep(Duration::from_nanos(exp + jitter));
+                                }
+                                let _scope = chaos_on.then(|| {
+                                    failpoint::activate(
+                                        Arc::clone(&plan),
+                                        solve_key(batch, key, attempt),
+                                    )
+                                });
+                                let result = catch_unwind(AssertUnwindSafe(|| {
+                                    shards[key.0].instance.solve(eps, radius, cg)
+                                }));
+                                match result {
+                                    Ok(Ok(s)) => {
+                                        solved = Some(CachedSolve {
+                                            mechanism: s.mechanism,
+                                            quality_loss: s.quality_loss,
+                                        });
+                                        break;
+                                    }
+                                    Ok(Err(_)) => {}
+                                    Err(_) => panics += 1,
+                                }
+                            }
+                            let outcome = match solved {
+                                Some(s) => {
+                                    MissOutcome::Solved(s, started.elapsed(), retries, panics)
+                                }
+                                None => MissOutcome::Failed(started.elapsed(), retries, panics),
+                            };
+                            let _ = tx.send((key, outcome));
                         }
                     });
                 }
                 drop(tx);
-                let deadline_at = Instant::now() + deadline;
-                if !deadline.is_zero() {
+                let deadline_at = Instant::now() + effective_deadline;
+                if !effective_deadline.is_zero() {
                     loop {
                         let now = Instant::now();
                         if now >= deadline_at {
@@ -482,10 +1021,10 @@ impl MechanismService {
                         }
                         match rx.recv_timeout(deadline_at - now) {
                             Ok(item) => {
-                                if item.1.is_ok() {
+                                if matches!(item.1, MissOutcome::Solved(..)) {
                                     in_time.insert(item.0);
                                 }
-                                finished.push(item);
+                                outcomes.push(item);
                             }
                             Err(_) => break, // timeout or all senders done
                         }
@@ -494,28 +1033,69 @@ impl MechanismService {
                 // Late solves: not served this batch, but cached for
                 // the next one.
                 for item in rx {
-                    finished.push(item);
+                    outcomes.push(item);
                 }
             });
         }
 
-        // Phase C: cache everything that solved, then serve.
+        // Phase C: account outcomes in solve-key order (channel arrival
+        // order depends on thread timing; breaker and cache state must
+        // not), cache everything that solved, then serve.
+        outcomes.sort_by_key(|o| o.0);
+        let threshold = self.config.resilience.breaker_threshold;
         let mut fresh: HashMap<(usize, u64), CachedSolve> = HashMap::new();
-        for (key, result, elapsed) in finished {
-            obs.record_duration(metrics::SOLVE_TIME, elapsed);
-            match result {
-                Ok(solve) => {
-                    if self.cache.insert(key, solve.clone()) {
-                        obs.incr(metrics::CACHE_EVICTIONS, 1);
+        let mut failed_keys: HashSet<(usize, u64)> = HashSet::new();
+        for (key, outcome) in outcomes {
+            match outcome {
+                MissOutcome::Solved(solve, elapsed, retries, panics) => {
+                    obs.record_duration(metrics::SOLVE_TIME, elapsed);
+                    if retries > 0 {
+                        obs.incr(metrics::RETRY_ATTEMPTS, u64::from(retries));
                     }
+                    if panics > 0 {
+                        obs.incr(metrics::PANICS_CAUGHT, u64::from(panics));
+                    }
+                    if self.shards[key.0].breaker.on_success() {
+                        obs.incr(metrics::BREAKER_RECLOSED, 1);
+                    }
+                    if let Some((evicted_key, evicted)) = self.cache.insert(key, solve.clone()) {
+                        obs.incr(metrics::CACHE_EVICTIONS, 1);
+                        self.demote(evicted_key, evicted, batch);
+                    }
+                    // A fresh optimum supersedes any stale copy.
+                    self.stale.remove(&key);
                     fresh.insert(key, solve);
                 }
-                Err(()) => obs.incr(metrics::SOLVE_ERRORS, 1),
+                MissOutcome::Failed(elapsed, retries, panics) => {
+                    obs.record_duration(metrics::SOLVE_TIME, elapsed);
+                    if retries > 0 {
+                        obs.incr(metrics::RETRY_ATTEMPTS, u64::from(retries));
+                    }
+                    if panics > 0 {
+                        obs.incr(metrics::PANICS_CAUGHT, u64::from(panics));
+                    }
+                    obs.incr(metrics::SOLVE_ERRORS, 1);
+                    if self.shards[key.0].breaker.on_failure(batch, threshold) {
+                        obs.incr(metrics::BREAKER_OPENED, 1);
+                    }
+                    failed_keys.insert(key);
+                }
+                MissOutcome::Blackout => {
+                    obs.incr(metrics::SOLVE_ERRORS, 1);
+                    if self.shards[key.0].breaker.on_failure(batch, threshold) {
+                        obs.incr(metrics::BREAKER_OPENED, 1);
+                    }
+                    failed_keys.insert(key);
+                }
+                MissOutcome::Shed => {
+                    obs.incr(metrics::BREAKER_SHED, 1);
+                    failed_keys.insert(key);
+                }
             }
         }
 
         let mut out = Vec::with_capacity(resolved.len());
-        let (mut optimal, mut fallback) = (0u64, 0u64);
+        let (mut optimal, mut stale_served, mut fallback) = (0u64, 0u64, 0u64);
         for r in resolved {
             let instance = &self.shards[r.shard].instance;
             let i = instance
@@ -529,9 +1109,23 @@ impl MechanismService {
             } else {
                 None
             };
-            let (mechanism, served) = match optimal_entry {
-                Some(entry) => (&entry.mechanism, Served::Optimal { cached: r.was_hit }),
-                None => {
+            // Stale serving (rung 3) only engages when the key's solve
+            // *failed* or was shed — a plain deadline miss still falls
+            // back, exactly as the fault-free service does.
+            let stale_entry = if optimal_entry.is_none() && failed_keys.contains(&r.key) {
+                self.stale.get(&r.key)
+            } else {
+                None
+            };
+            let (mechanism, served) = match (optimal_entry, stale_entry) {
+                (Some(entry), _) => (&entry.mechanism, Served::Optimal { cached: r.was_hit }),
+                (None, Some((entry, demoted))) => (
+                    &entry.mechanism,
+                    Served::Stale {
+                        age_batches: batch.saturating_sub(*demoted),
+                    },
+                ),
+                (None, None) => {
                     let m = self
                         .fallbacks
                         .entry(r.key)
@@ -541,6 +1135,7 @@ impl MechanismService {
             };
             match served {
                 Served::Optimal { .. } => optimal += 1,
+                Served::Stale { .. } => stale_served += 1,
                 Served::Fallback => fallback += 1,
             }
             let j = mechanism.sample_interval(i, rng);
@@ -558,7 +1153,17 @@ impl MechanismService {
             });
         }
         obs.incr(metrics::OPTIMAL_SERVED, optimal);
+        obs.incr(metrics::STALE_SERVED, stale_served);
         obs.incr(metrics::FALLBACK_SERVED, fallback);
+
+        // Export the health snapshot: one breaker-state sample per
+        // shard per batch.
+        for (s, shard) in self.shards.iter().enumerate() {
+            obs.push(
+                &metrics::breaker_state_series(s),
+                shard.breaker.state.as_f64(),
+            );
+        }
         out
     }
 
@@ -632,6 +1237,7 @@ mod tests {
     use rand::SeedableRng;
     use roadnet::generators;
     use vlp_core::privacy;
+    use vlp_obs::failpoint::FaultMode;
 
     fn service(deadline: Duration) -> MechanismService {
         let g = generators::grid(3, 4, 0.4, true);
@@ -723,10 +1329,11 @@ mod tests {
             mechanism: Mechanism::uniform(2),
             quality_loss: 0.0,
         };
-        assert!(!cache.insert((0, 1), entry()));
-        assert!(!cache.insert((0, 2), entry()));
+        assert!(cache.insert((0, 1), entry()).is_none());
+        assert!(cache.insert((0, 2), entry()).is_none());
         assert!(cache.get((0, 1)).is_some()); // bump (0, 1)
-        assert!(cache.insert((0, 3), entry())); // evicts (0, 2)
+        let evicted = cache.insert((0, 3), entry()); // evicts (0, 2)
+        assert_eq!(evicted.map(|(key, _)| key), Some((0, 2)));
         assert!(cache.contains((0, 1)));
         assert!(!cache.contains((0, 2)));
         assert!(cache.contains((0, 3)));
@@ -779,6 +1386,209 @@ mod tests {
         for (s, outcome) in outcomes {
             assert_eq!(outcome.assignments.len(), 1, "shard {s} assigns its task");
             assert!(svc.pending_tasks(s).is_empty());
+        }
+    }
+
+    /// The full ladder, scripted end to end: an evict storm forces a
+    /// miss every batch, a shard-0 blackout over batches `[1, 4)`
+    /// drives three consecutive failures (threshold) so the breaker
+    /// opens, the stale store serves through the outage with growing
+    /// age, and the half-open probe after the cooldown re-closes it.
+    #[test]
+    fn breaker_opens_serves_stale_and_recloses_after_probe() {
+        let g = generators::grid(3, 4, 0.4, true);
+        let chaos = FaultPlan::new(7)
+            .with(site::SERVICE_EVICT_STORM, FaultMode::Every(1))
+            .with(
+                site::shard_blackout(0),
+                FaultMode::Window { from: 1, to: 4 },
+            );
+        let mut svc = MechanismService::new(
+            g,
+            ServiceConfig {
+                n_shards: 2,
+                delta: 0.2,
+                solve_deadline: Duration::ZERO,
+                resilience: ResilienceConfig {
+                    breaker_threshold: 3,
+                    breaker_cooldown: 2,
+                    ..ResilienceConfig::default()
+                },
+                chaos,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let reqs = requests(&svc, 5.0);
+        assert_eq!(reqs.len(), 2, "one request per shard");
+
+        let mut shard0_served = Vec::new();
+        let mut states = Vec::new();
+        for _ in 0..6 {
+            let out = svc.obfuscate_batch(&reqs, &mut rng);
+            shard0_served.push(out[0].served);
+            states.push(svc.breaker_state(0));
+        }
+        assert_eq!(
+            states,
+            [
+                BreakerState::Closed, // batch 0: clean solve (zero deadline)
+                BreakerState::Closed, // batch 1: blackout failure 1
+                BreakerState::Closed, // batch 2: blackout failure 2
+                BreakerState::Open,   // batch 3: failure 3 trips it
+                BreakerState::Open,   // batch 4: cooling down (shed)
+                BreakerState::Closed, // batch 5: half-open probe re-closes
+            ]
+        );
+        assert_eq!(
+            shard0_served,
+            [
+                Served::Fallback, // cold, zero deadline
+                Served::Stale { age_batches: 0 },
+                Served::Stale { age_batches: 1 },
+                Served::Stale { age_batches: 2 },
+                Served::Stale { age_batches: 3 }, // shed while open
+                Served::Fallback,                 // probe solved late (zero deadline)
+            ]
+        );
+        // Shard 1 is untouched by the blackout and stays closed.
+        assert_eq!(svc.breaker_state(1), BreakerState::Closed);
+        // The health snapshot reflected the outage and the recovery.
+        let health = svc.health();
+        assert!(health.ready);
+        assert_eq!(health.batches, 6);
+        assert_eq!(health.shards[0].consecutive_failures, 0);
+    }
+
+    #[test]
+    fn health_snapshot_reports_open_breaker_as_not_ready() {
+        let g = generators::grid(3, 4, 0.4, true);
+        let chaos = FaultPlan::new(1)
+            .with(site::SERVICE_EVICT_STORM, FaultMode::Every(1))
+            .with(site::shard_blackout(0), FaultMode::Always);
+        let mut svc = MechanismService::new(
+            g,
+            ServiceConfig {
+                n_shards: 2,
+                delta: 0.2,
+                solve_deadline: Duration::ZERO,
+                resilience: ResilienceConfig {
+                    breaker_threshold: 1,
+                    breaker_cooldown: 100,
+                    ..ResilienceConfig::default()
+                },
+                chaos,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let reqs = requests(&svc, 5.0);
+        let _ = svc.obfuscate_batch(&reqs, &mut rng);
+        let health = svc.health();
+        assert!(!health.ready, "an open breaker must clear readiness");
+        assert_eq!(health.shards[0].breaker, BreakerState::Open);
+        assert_eq!(health.shards[0].opened_at_batch, Some(0));
+        assert_eq!(health.shards[1].breaker, BreakerState::Closed);
+    }
+
+    /// An empty fault plan must leave the ladder fully inert: the
+    /// service's outputs are identical to a service that has no chaos
+    /// configured at all, batch for batch, bit for bit.
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let mk = |chaos: FaultPlan| {
+            MechanismService::new(
+                generators::grid(3, 4, 0.4, true),
+                ServiceConfig {
+                    n_shards: 2,
+                    delta: 0.2,
+                    solve_deadline: Duration::ZERO,
+                    chaos,
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+        let mut a = mk(FaultPlan::default());
+        let mut b = mk(FaultPlan::new(0xDEAD_BEEF)); // seeded but empty
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(31);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(31);
+        let reqs = requests(&a, 5.0);
+        for _ in 0..3 {
+            let out_a = a.obfuscate_batch(&reqs, &mut rng_a);
+            let out_b = b.obfuscate_batch(&reqs, &mut rng_b);
+            assert_eq!(out_a, out_b);
+        }
+    }
+
+    /// Pins the direction of ε-bucket rounding: requested budgets round
+    /// *down* to the grid, so the canonical ε is never larger than the
+    /// request — the served mechanism is never *less* private than
+    /// asked for. A mechanism valid at the canonical ε is automatically
+    /// valid at the (larger) requested ε because ε-Geo-I constraints
+    /// relax monotonically in ε.
+    #[test]
+    fn epsilon_bucket_rounding_direction_is_never_less_private() {
+        let svc = service(Duration::ZERO);
+        let width = svc.config().epsilon_bucket;
+        for step in 0..40 {
+            let requested = 0.25 + 0.17 * step as f64;
+            let canonical = svc.canonical_epsilon(requested);
+            assert!(
+                canonical <= requested + 1e-12,
+                "canonical ε {canonical} must not exceed requested {requested}"
+            );
+            let grid = (canonical / width).round();
+            assert!(
+                (canonical - grid * width).abs() < 1e-9,
+                "canonical ε {canonical} must sit on the bucket grid"
+            );
+        }
+        // Monotonicity makes the rounding safe: a mechanism built at
+        // the canonical (smaller) ε still verifies at the requested ε.
+        let requested = 5.24;
+        let canonical = svc.canonical_epsilon(requested);
+        assert_eq!(canonical, 5.0);
+        let inst = svc.shard_instance(0);
+        let mechanism = inst.fallback(canonical);
+        for eps in [canonical, requested] {
+            let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
+            assert!(privacy::verify(&mechanism, &spec, 1e-6));
+        }
+    }
+
+    /// Every rung's product — cached optimum, stale entry, fallback —
+    /// satisfies full-spec ε-Geo-I at its canonical ε, even mid-outage.
+    #[test]
+    fn live_mechanisms_stay_epsilon_valid_under_faults() {
+        let g = generators::grid(3, 4, 0.4, true);
+        let chaos = FaultPlan::new(99)
+            .with(site::SERVICE_EVICT_STORM, FaultMode::Every(2))
+            .with(
+                site::shard_blackout(0),
+                FaultMode::Window { from: 1, to: 3 },
+            );
+        let mut svc = MechanismService::new(
+            g,
+            ServiceConfig {
+                n_shards: 2,
+                delta: 0.2,
+                solve_deadline: Duration::ZERO,
+                chaos,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let reqs = requests(&svc, 5.0);
+        for _ in 0..4 {
+            let _ = svc.obfuscate_batch(&reqs, &mut rng);
+            for (s, eps, mechanism) in svc.live_mechanisms() {
+                let inst = svc.shard_instance(s);
+                let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
+                assert!(
+                    privacy::verify(mechanism, &spec, 1e-6),
+                    "shard {s} mechanism at ε={eps} must stay ε-Geo-I valid"
+                );
+            }
         }
     }
 

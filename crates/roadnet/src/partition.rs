@@ -92,6 +92,27 @@ impl Partition {
     /// id), keeping intra-band segments and repairing each band to
     /// strong connectivity.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use roadnet::{generators, Partition};
+    ///
+    /// let graph = generators::grid(3, 4, 0.4, true);
+    /// let partition = Partition::by_bands(&graph, 2);
+    /// assert_eq!(partition.shards().len(), 2);
+    /// // Bands cover every node exactly once …
+    /// let nodes: usize = partition
+    ///     .shards()
+    ///     .iter()
+    ///     .map(|s| s.graph().node_count())
+    ///     .sum();
+    /// assert_eq!(nodes, graph.node_count());
+    /// // … and each band is near-equal in size.
+    /// for shard in partition.shards() {
+    ///     assert!(shard.graph().node_count() >= graph.node_count() / 2 - 1);
+    /// }
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `n_shards == 0` or the graph has fewer than
