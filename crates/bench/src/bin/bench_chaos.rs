@@ -206,7 +206,7 @@ fn main() {
             let inst = svc.shard_instance(s);
             let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
             assert!(
-                privacy::verify(mechanism, &spec, 1e-6),
+                privacy::verify(&mechanism, &spec, 1e-6),
                 "batch {batch}: shard {s} mechanism at ε={eps} violates Geo-I"
             );
             audited += 1;

@@ -152,14 +152,14 @@ fn main() {
                 .cached_mechanism(s, eps)
                 .expect("workload solved every (shard, ε) key");
             assert!(
-                privacy::verify(cached, &spec, 1e-6),
+                privacy::verify(&cached, &spec, 1e-6),
                 "cached mechanism for shard {s} at ε={canonical} violates Geo-I"
             );
             let fallback = svc
                 .fallback_mechanism(s, eps)
                 .expect("cold batch built every fallback");
             assert!(
-                privacy::verify(fallback, &spec, 1e-6),
+                privacy::verify(&fallback, &spec, 1e-6),
                 "fallback for shard {s} at ε={canonical} violates Geo-I"
             );
             audited += 2;

@@ -1,0 +1,793 @@
+//! The always-on serving core: long-lived per-shard solver workers fed
+//! by bounded MPSC queues, per-shard-locked routing tables that serve
+//! cache hits on the caller path, admission control with explicit
+//! backpressure, and a graceful draining shutdown.
+//!
+//! ```text
+//!              ┌────────────────────────── CoreShared ──────────────┐
+//!  submit ───► │ route → shard table (Mutex)                        │
+//!              │   hit  ── Arc clone ──────────────► sample, return │
+//!              │   miss ── admission ─┬─ try_send ─► bounded queue  │
+//!              │                      │              │              │
+//!              │                      └─ shed ─► stale / fallback / │
+//!              │                                 Rejected           │
+//!              │ solver workers (N per shard) ◄──┘                  │
+//!              │   solve w/ retry ladder → publish → cache/stale    │
+//!              └────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Lock discipline: a thread holds at most one shard's table lock at a
+//! time, never acquires an instance `RwLock` while holding a table
+//! lock, and the global in-flight counter is only taken after (or
+//! without) a table lock — so there is no cycle and no deadlock. Cache
+//! hits touch exactly one short table-lock critical section and never
+//! enter a queue.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rand::RngExt;
+use roadnet::{Location, Partition, RoadGraph};
+use vlp_core::{Mechanism, Prior, VlpInstance};
+use vlp_obs::failpoint::{self, site, FaultPlan};
+
+use super::ladder::{solve_key, Breaker, BreakerState, CachedSolve, LruCache, MissOutcome};
+use super::{metrics, Obfuscation, Response, Served, ServiceConfig};
+use crate::WorkerId;
+
+/// Locks a mutex, recovering the data on poison: core state is kept
+/// consistent under panic by construction (injected solver panics are
+/// contained by the worker's unwind boundary before any lock is held).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Per-shard counters accumulated under the table lock and published
+/// to the `vlp-obs` registry on [`CoreShared::flush_metrics`] — the
+/// hot path never touches the global registry mutex.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    pub(crate) requests: u64,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) served_optimal: u64,
+    pub(crate) served_stale: u64,
+    pub(crate) served_fallback: u64,
+    pub(crate) enqueued: u64,
+    pub(crate) coalesced: u64,
+    pub(crate) queue_full: u64,
+    pub(crate) breaker_shed: u64,
+    pub(crate) rejected: u64,
+    pub(crate) degraded: u64,
+}
+
+impl ShardStats {
+    fn flush(&mut self, obs: &vlp_obs::Registry) {
+        let pairs = [
+            (metrics::REQUESTS, self.requests),
+            (metrics::CACHE_HITS, self.hits),
+            (metrics::CACHE_MISSES, self.misses),
+            (metrics::OPTIMAL_SERVED, self.served_optimal),
+            (metrics::STALE_SERVED, self.served_stale),
+            (metrics::FALLBACK_SERVED, self.served_fallback),
+            (metrics::QUEUE_ENQUEUED, self.enqueued),
+            (metrics::QUEUE_COALESCED, self.coalesced),
+            (metrics::QUEUE_FULL, self.queue_full),
+            (metrics::BREAKER_SHED, self.breaker_shed),
+            (metrics::SHED_REJECTED, self.rejected),
+            (metrics::SHED_DEGRADED, self.degraded),
+        ];
+        for (name, value) in pairs {
+            if value > 0 {
+                obs.incr(name, value);
+            }
+        }
+        *self = ShardStats::default();
+    }
+}
+
+/// One shard's routing table: everything the caller path and the
+/// publish path share, behind a single per-shard mutex.
+#[derive(Debug)]
+pub(crate) struct ShardTable {
+    pub(crate) cache: LruCache,
+    /// Ladder rung 3: mechanisms displaced from the cache, each tagged
+    /// with the epoch of its demotion.
+    pub(crate) stale: HashMap<u64, (CachedSolve, u64)>,
+    pub(crate) fallbacks: HashMap<u64, Arc<Mechanism>>,
+    pub(crate) breaker: Breaker,
+    /// ε-buckets with a solve currently queued or running; duplicate
+    /// misses coalesce onto it instead of enqueueing again.
+    pub(crate) inflight: HashSet<u64>,
+    /// The epoch whose half-open probe slot has been used, if any.
+    probe_epoch: Option<u64>,
+    /// The epoch this shard is blacked out for, if any (set by `tick`
+    /// from the chaos plan).
+    blackout_epoch: Option<u64>,
+    /// Buckets whose blackout failure was already accounted this epoch
+    /// (one breaker failure per bucket per epoch, like the batch path).
+    blackout_accounted: HashSet<u64>,
+    /// Bumped by each prior update; solves started under an older
+    /// generation are demoted to stale instead of cached as fresh.
+    pub(crate) instance_gen: u64,
+    pub(crate) stats: ShardStats,
+}
+
+impl ShardTable {
+    fn new(config: &ServiceConfig) -> Self {
+        Self {
+            cache: LruCache::new(config.cache_capacity),
+            stale: HashMap::new(),
+            fallbacks: HashMap::new(),
+            breaker: Breaker::new(),
+            inflight: HashSet::new(),
+            probe_epoch: None,
+            blackout_epoch: None,
+            blackout_accounted: HashSet::new(),
+            instance_gen: 0,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Demotes a displaced cache entry into the bounded stale store
+    /// (ladder rung 3), evicting the oldest demotion on overflow.
+    pub(crate) fn demote(&mut self, capacity: usize, bucket: u64, entry: CachedSolve, epoch: u64) {
+        if !self.stale.contains_key(&bucket) && self.stale.len() >= capacity {
+            if let Some(&victim) = self
+                .stale
+                .iter()
+                .map(|(k, &(_, demoted))| (demoted, k))
+                .min()
+                .map(|(_, k)| k)
+            {
+                self.stale.remove(&victim);
+            }
+        }
+        self.stale.insert(bucket, (entry, epoch));
+        vlp_obs::global().incr(metrics::STALE_DEMOTIONS, 1);
+    }
+
+    /// The fallback mechanism for `bucket`, built lazily on first use.
+    pub(crate) fn fallback_entry(
+        &mut self,
+        instance: &VlpInstance,
+        bucket: u64,
+        canonical: f64,
+    ) -> Arc<Mechanism> {
+        Arc::clone(
+            self.fallbacks
+                .entry(bucket)
+                .or_insert_with(|| Arc::new(instance.fallback(canonical))),
+        )
+    }
+}
+
+/// One queued cache-miss solve. `reply: Some` is batch mode — the
+/// worker only reports the outcome and the batch frontend applies it
+/// in deterministic key order; `reply: None` is open-loop mode — the
+/// worker publishes the outcome into the shard table itself.
+pub(crate) struct SolveJob {
+    pub(crate) bucket: u64,
+    /// The canonical (bucketed) ε to solve at.
+    pub(crate) epsilon: f64,
+    /// The epoch (or batch index) keying failpoint evaluation.
+    pub(crate) epoch: u64,
+    pub(crate) reply: Option<mpsc::Sender<((usize, u64), MissOutcome)>>,
+}
+
+/// One region shard's runtime: its instance (copy-on-write behind an
+/// `RwLock` so prior updates never block readers for the clone), its
+/// routing table, and the sending half of its bounded solve queue.
+#[derive(Debug)]
+pub(crate) struct ShardRuntime {
+    instance: RwLock<Arc<VlpInstance>>,
+    pub(crate) table: Mutex<ShardTable>,
+    sender: Mutex<Option<SyncSender<SolveJob>>>,
+    /// Jobs completed after shutdown began (the drain).
+    drained: AtomicU64,
+}
+
+impl ShardRuntime {
+    /// A snapshot of the shard's instance (cheap: one refcount bump).
+    pub(crate) fn instance(&self) -> Arc<VlpInstance> {
+        Arc::clone(&self.instance.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    fn sender(&self) -> Option<SyncSender<SolveJob>> {
+        lock(&self.sender).clone()
+    }
+}
+
+/// What a graceful [`MechanismService::shutdown`] drained: queued or
+/// running solve jobs completed between the shutdown request and the
+/// last worker exiting, per shard. Shards are drained and joined in
+/// shard order, each queue in FIFO order, so given a quiesced set of
+/// queued jobs the drain is deterministic.
+///
+/// [`MechanismService::shutdown`]: super::MechanismService::shutdown
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Solve jobs completed during the drain, indexed by shard.
+    pub drained: Vec<u64>,
+}
+
+impl ShutdownReport {
+    /// Total jobs drained across shards.
+    pub fn total(&self) -> u64 {
+        self.drained.iter().sum()
+    }
+}
+
+/// State shared between submitters, solver workers, and the batch
+/// frontend.
+#[derive(Debug)]
+pub(crate) struct CoreShared {
+    pub(crate) partition: Partition,
+    pub(crate) shards: Vec<ShardRuntime>,
+    pub(crate) chaos: Arc<FaultPlan>,
+    pub(crate) config: ServiceConfig,
+    /// The logical clock: batch index for the batch frontend, tick
+    /// count for the open-loop frontend. Chaos schedules, breaker
+    /// cooldowns, and staleness ages are all keyed by it.
+    pub(crate) epoch: AtomicU64,
+    inflight_jobs: Mutex<u64>,
+    idle: Condvar,
+    shutting_down: AtomicBool,
+}
+
+impl CoreShared {
+    /// The ε-bucket and canonical ε for a requested `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is below one bucket width.
+    pub(crate) fn bucket(&self, epsilon: f64) -> (u64, f64) {
+        let width = self.config.epsilon_bucket;
+        assert!(
+            epsilon >= width,
+            "requested epsilon {epsilon} is below the bucket width {width}"
+        );
+        // The nudge keeps exact multiples (5.0 / 0.25) from flooring
+        // into the bucket below through float error.
+        let bucket = (epsilon / width + 1e-9).floor() as u64;
+        (bucket, bucket as f64 * width)
+    }
+
+    fn inflight_add(&self) {
+        *lock(&self.inflight_jobs) += 1;
+    }
+
+    fn inflight_undo(&self) {
+        let mut n = lock(&self.inflight_jobs);
+        *n -= 1;
+        if *n == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn note_done(&self, s: usize) {
+        if self.shutting_down.load(Ordering::Relaxed) {
+            self.shards[s].drained.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inflight_undo();
+    }
+
+    /// Blocks until no solve job is queued or running.
+    pub(crate) fn quiesce(&self) {
+        let mut n = lock(&self.inflight_jobs);
+        while *n > 0 {
+            n = self.idle.wait(n).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Serves one open-loop request on the caller path. See
+    /// [`MechanismService::submit`] for the contract.
+    ///
+    /// [`MechanismService::submit`]: super::MechanismService::submit
+    pub(crate) fn submit<R: RngExt + ?Sized>(
+        &self,
+        worker: WorkerId,
+        loc: Location,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Response {
+        let Some((s, local)) = self.partition.to_local(loc) else {
+            vlp_obs::global().incr(metrics::OFF_PARTITION, 1);
+            return Response::OffPartition { worker };
+        };
+        let (bucket, canonical) = self.bucket(epsilon);
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let shard = &self.shards[s];
+        let instance = shard.instance();
+
+        let served: Option<(Arc<Mechanism>, Served)> = {
+            let mut t = lock(&shard.table);
+            t.stats.requests += 1;
+            if let Some(hit) = t.cache.get(bucket).map(|e| Arc::clone(&e.mechanism)) {
+                // The hot path: one refcount bump under the table lock,
+                // sampling happens outside it. No queue is touched.
+                t.stats.hits += 1;
+                t.stats.served_optimal += 1;
+                Some((hit, Served::Optimal { cached: true }))
+            } else {
+                t.stats.misses += 1;
+                self.admit_miss(&mut t, shard, &instance, bucket, canonical, epoch)
+            }
+        };
+        match served {
+            None => Response::Rejected {
+                worker,
+                shard: s,
+                epsilon: canonical,
+            },
+            Some((mechanism, served)) => {
+                let i = instance
+                    .disc
+                    .locate(&instance.graph, local)
+                    .expect("shard-local location lies on the shard");
+                let j = mechanism.sample_interval(i, rng);
+                let location = instance
+                    .disc
+                    .transplant(&instance.graph, local, j)
+                    .expect("reported interval lies on the shard");
+                Response::Served(Obfuscation {
+                    worker,
+                    shard: s,
+                    interval: j,
+                    location,
+                    epsilon: canonical,
+                    served,
+                })
+            }
+        }
+    }
+
+    /// The cache-miss half of `submit`: admission control, then a
+    /// degraded serve (stale → prebuilt fallback → `None` = reject).
+    /// Called with the shard's table lock held.
+    fn admit_miss(
+        &self,
+        t: &mut ShardTable,
+        shard: &ShardRuntime,
+        instance: &VlpInstance,
+        bucket: u64,
+        canonical: f64,
+        epoch: u64,
+    ) -> Option<(Arc<Mechanism>, Served)> {
+        // Rung 2 gate: open breakers shed without an attempt; half-open
+        // breakers admit one probe solve per epoch.
+        let admitted = match t.breaker.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                t.stats.breaker_shed += 1;
+                false
+            }
+            BreakerState::HalfOpen => {
+                if t.probe_epoch == Some(epoch) {
+                    t.stats.breaker_shed += 1;
+                    false
+                } else {
+                    t.probe_epoch = Some(epoch);
+                    true
+                }
+            }
+        };
+        let mut solve_pending = false;
+        let mut shed = !admitted;
+        if admitted && t.blackout_epoch == Some(epoch) {
+            // An injected blackout fails the miss without a solve
+            // attempt; the breaker hears about it once per bucket per
+            // epoch, mirroring the batch path's accounting.
+            if t.blackout_accounted.insert(bucket) {
+                let obs = vlp_obs::global();
+                obs.incr(metrics::SOLVE_ERRORS, 1);
+                if t.breaker
+                    .on_failure(epoch, self.config.resilience.breaker_threshold)
+                {
+                    obs.incr(metrics::BREAKER_OPENED, 1);
+                }
+            }
+            shed = true;
+        } else if admitted {
+            if t.inflight.contains(&bucket) {
+                // A solve for this bucket is already queued or running.
+                t.stats.coalesced += 1;
+                solve_pending = true;
+            } else {
+                self.inflight_add();
+                let job = SolveJob {
+                    bucket,
+                    epsilon: canonical,
+                    epoch,
+                    reply: None,
+                };
+                match shard.sender().map(|tx| tx.try_send(job)) {
+                    Some(Ok(())) => {
+                        t.inflight.insert(bucket);
+                        t.stats.enqueued += 1;
+                        solve_pending = true;
+                    }
+                    Some(Err(TrySendError::Full(_))) => {
+                        self.inflight_undo();
+                        t.stats.queue_full += 1;
+                        shed = true;
+                    }
+                    Some(Err(TrySendError::Disconnected(_))) | None => {
+                        // Shutting down: no new solves are admitted.
+                        self.inflight_undo();
+                        shed = true;
+                    }
+                }
+            }
+        }
+        if solve_pending && !shed {
+            // Warming: the optimum is on its way; hold the line with
+            // the fallback floor at the same canonical ε (rung 4).
+            t.stats.served_fallback += 1;
+            return Some((
+                t.fallback_entry(instance, bucket, canonical),
+                Served::Fallback,
+            ));
+        }
+        // Shed: rung 3 (stale) if available, else a *prebuilt* fallback.
+        // Nothing is constructed under backpressure — a cold shed key is
+        // rejected outright, which is the explicit-backpressure contract.
+        if let Some((entry, demoted)) = t.stale.get(&bucket) {
+            t.stats.served_stale += 1;
+            t.stats.degraded += 1;
+            let age = epoch.saturating_sub(*demoted);
+            return Some((
+                Arc::clone(&entry.mechanism),
+                Served::Stale { age_batches: age },
+            ));
+        }
+        if let Some(m) = t.fallbacks.get(&bucket) {
+            t.stats.served_fallback += 1;
+            t.stats.degraded += 1;
+            return Some((Arc::clone(m), Served::Fallback));
+        }
+        t.stats.rejected += 1;
+        None
+    }
+
+    /// Blocking enqueue for the batch frontend (reply mode). Returns
+    /// `false` if the shard's queue is gone (shutdown).
+    pub(crate) fn enqueue_batch(
+        &self,
+        s: usize,
+        bucket: u64,
+        epsilon: f64,
+        epoch: u64,
+        reply: mpsc::Sender<((usize, u64), MissOutcome)>,
+    ) -> bool {
+        let job = SolveJob {
+            bucket,
+            epsilon,
+            epoch,
+            reply: Some(reply),
+        };
+        self.inflight_add();
+        match self.shards[s].sender().map(|tx| tx.send(job)) {
+            Some(Ok(())) => true,
+            _ => {
+                self.inflight_undo();
+                false
+            }
+        }
+    }
+
+    /// Advances the logical clock by one epoch: evaluates epoch-scoped
+    /// chaos (evict storms, shard blackouts), ticks every breaker, and
+    /// samples the per-shard health series. Returns the new epoch.
+    pub(crate) fn tick(&self) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let obs = vlp_obs::global();
+        let chaos_on = !self.chaos.is_empty();
+        let storm = chaos_on && self.chaos.evaluate(site::SERVICE_EVICT_STORM, epoch);
+        let cooldown = self.config.resilience.breaker_cooldown;
+        let stale_capacity = self.config.resilience.stale_capacity;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut t = lock(&shard.table);
+            if chaos_on {
+                if storm {
+                    for (bucket, entry) in t.cache.drain_all() {
+                        t.demote(stale_capacity, bucket, entry, epoch);
+                    }
+                }
+                if self.chaos.evaluate(&site::shard_blackout(s), epoch) {
+                    t.blackout_epoch = Some(epoch);
+                    t.blackout_accounted.clear();
+                }
+            }
+            if t.breaker.tick(epoch, cooldown) {
+                obs.incr(metrics::BREAKER_HALF_OPEN, 1);
+            }
+            obs.push(&metrics::breaker_state_series(s), t.breaker.state.as_f64());
+            obs.push(&metrics::queue_depth_series(s), t.inflight.len() as f64);
+            t.stats.flush(obs);
+        }
+        epoch
+    }
+
+    /// Publishes accumulated per-shard counters into the `vlp-obs`
+    /// registry without advancing the epoch.
+    pub(crate) fn flush_metrics(&self) {
+        let obs = vlp_obs::global();
+        for shard in &self.shards {
+            lock(&shard.table).stats.flush(obs);
+        }
+    }
+
+    /// Swaps shard `s`'s instance for one with the new worker prior
+    /// (copy-on-write) and invalidates its cached mechanisms — they
+    /// were optimal for the old prior. Fallbacks are prior-free and
+    /// stay. In-flight solves against the old instance are demoted to
+    /// the stale store when they land (generation check).
+    pub(crate) fn set_worker_prior(&self, s: usize, f_p: Prior) {
+        let shard = &self.shards[s];
+        {
+            let mut slot = shard.instance.write().unwrap_or_else(|p| p.into_inner());
+            let mut inst = (**slot).clone();
+            inst.set_worker_prior(f_p);
+            *slot = Arc::new(inst);
+        }
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let stale_capacity = self.config.resilience.stale_capacity;
+        let mut t = lock(&shard.table);
+        t.instance_gen += 1;
+        let dropped = t.cache.drain_all();
+        vlp_obs::global().incr(metrics::PRIOR_INVALIDATIONS, dropped.len() as u64);
+        // The displaced mechanisms are optimal for the *old* prior:
+        // stale in quality, identical in privacy — demote, don't drop.
+        for (bucket, entry) in dropped {
+            t.demote(stale_capacity, bucket, entry, epoch);
+        }
+    }
+
+    /// Runs one solve job through the retry ladder (rung 1): up to
+    /// `max_attempts` attempts with deterministic exponential backoff
+    /// plus seeded jitter, each under a failpoint scope keyed by
+    /// `(epoch, shard, bucket, attempt)` and an unwind boundary.
+    /// Returns the outcome and the instance generation it solved under.
+    fn run_solve(&self, s: usize, job: &SolveJob) -> (MissOutcome, u64) {
+        let shard = &self.shards[s];
+        let gen = lock(&shard.table).instance_gen;
+        let instance = shard.instance();
+        let chaos_on = !self.chaos.is_empty();
+        let res = &self.config.resilience;
+        let base_ns = res.backoff_base.as_nanos() as u64;
+        let cap_ns = res.backoff_cap.as_nanos() as u64;
+        let key = (s, job.bucket);
+        let started = Instant::now();
+        let mut retries = 0u32;
+        let mut panics = 0u32;
+        let mut solved: Option<CachedSolve> = None;
+        for attempt in 1..=res.max_attempts {
+            if attempt > 1 {
+                retries += 1;
+                let exp = base_ns
+                    .saturating_mul(1u64 << (attempt - 2).min(20))
+                    .min(cap_ns);
+                let jitter = failpoint::backoff_jitter_ns(
+                    self.chaos.seed(),
+                    solve_key(job.epoch, key, 0),
+                    attempt,
+                    base_ns,
+                );
+                thread::sleep(Duration::from_nanos(exp + jitter));
+            }
+            let _scope = chaos_on.then(|| {
+                failpoint::activate(Arc::clone(&self.chaos), solve_key(job.epoch, key, attempt))
+            });
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                instance.solve(job.epsilon, self.config.radius, &self.config.cg)
+            }));
+            match result {
+                Ok(Ok(sv)) => {
+                    solved = Some(CachedSolve {
+                        mechanism: Arc::new(sv.mechanism),
+                        quality_loss: sv.quality_loss,
+                    });
+                    break;
+                }
+                Ok(Err(_)) => {}
+                Err(_) => panics += 1,
+            }
+        }
+        let outcome = match solved {
+            Some(sv) => MissOutcome::Solved(sv, started.elapsed(), retries, panics),
+            None => MissOutcome::Failed(started.elapsed(), retries, panics),
+        };
+        (outcome, gen)
+    }
+
+    /// Applies an open-loop solve outcome to the shard table: cache on
+    /// success (demoting any eviction and any superseded-generation
+    /// solve), breaker accounting on failure.
+    fn publish(&self, s: usize, bucket: u64, gen: u64, outcome: MissOutcome) {
+        let obs = vlp_obs::global();
+        let res = &self.config.resilience;
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let shard = &self.shards[s];
+        let mut t = lock(&shard.table);
+        t.inflight.remove(&bucket);
+        match outcome {
+            MissOutcome::Solved(solve, elapsed, retries, panics) => {
+                obs.record_duration(metrics::SOLVE_TIME, elapsed);
+                if retries > 0 {
+                    obs.incr(metrics::RETRY_ATTEMPTS, u64::from(retries));
+                }
+                if panics > 0 {
+                    obs.incr(metrics::PANICS_CAUGHT, u64::from(panics));
+                }
+                if t.breaker.on_success() {
+                    obs.incr(metrics::BREAKER_RECLOSED, 1);
+                }
+                if gen == t.instance_gen {
+                    if let Some((evicted_bucket, evicted)) = t.cache.insert(bucket, solve) {
+                        obs.incr(metrics::CACHE_EVICTIONS, 1);
+                        t.demote(res.stale_capacity, evicted_bucket, evicted, epoch);
+                    }
+                    // A fresh optimum supersedes any stale copy.
+                    t.stale.remove(&bucket);
+                } else {
+                    // Solved under a superseded prior: privacy-equal,
+                    // quality-stale — demote instead of caching fresh.
+                    t.demote(res.stale_capacity, bucket, solve, epoch);
+                }
+            }
+            MissOutcome::Failed(elapsed, retries, panics) => {
+                obs.record_duration(metrics::SOLVE_TIME, elapsed);
+                if retries > 0 {
+                    obs.incr(metrics::RETRY_ATTEMPTS, u64::from(retries));
+                }
+                if panics > 0 {
+                    obs.incr(metrics::PANICS_CAUGHT, u64::from(panics));
+                }
+                obs.incr(metrics::SOLVE_ERRORS, 1);
+                if t.breaker.on_failure(epoch, res.breaker_threshold) {
+                    obs.incr(metrics::BREAKER_OPENED, 1);
+                }
+            }
+            MissOutcome::Blackout | MissOutcome::Shed => {
+                debug_assert!(false, "blackout/shed outcomes are never queued");
+            }
+        }
+    }
+}
+
+/// The solver-worker main loop: receive, solve through the retry
+/// ladder, publish (open-loop) or reply (batch), repeat until the
+/// queue disconnects.
+fn worker_loop(shared: Arc<CoreShared>, s: usize, rx: Arc<Mutex<Receiver<SolveJob>>>) {
+    loop {
+        // Workers of one shard share the receiver behind a mutex; recv
+        // blocks while holding it, which is exactly the work-stealing
+        // we want (any idle worker takes the next job).
+        let job = match lock(&rx).recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let (outcome, gen) = shared.run_solve(s, &job);
+        match &job.reply {
+            Some(tx) => {
+                // Batch mode: the frontend applies the outcome in
+                // deterministic key order; a dropped receiver means the
+                // batch gave up waiting, which cannot happen (it drains
+                // exactly the jobs it enqueued).
+                let _ = tx.send(((s, job.bucket), outcome));
+            }
+            None => shared.publish(s, job.bucket, gen, outcome),
+        }
+        shared.note_done(s);
+    }
+}
+
+/// The owning handle of the serving core: shared state plus the worker
+/// threads. Dropping it shuts the core down gracefully.
+#[derive(Debug)]
+pub(crate) struct ServingCore {
+    pub(crate) shared: Arc<CoreShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServingCore {
+    pub(crate) fn new(graph: RoadGraph, config: ServiceConfig) -> Self {
+        assert!(config.n_shards > 0, "need at least one shard");
+        assert!(config.delta > 0.0, "delta must be positive");
+        assert!(config.epsilon_bucket > 0.0, "bucket width must be positive");
+        assert!(config.cache_capacity > 0, "cache capacity must be positive");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.solver_threads > 0, "need at least one solver thread");
+        assert!(
+            config.resilience.max_attempts > 0,
+            "need at least one solve attempt"
+        );
+        assert!(
+            config.resilience.breaker_threshold > 0,
+            "breaker threshold must be positive"
+        );
+        assert!(
+            config.resilience.stale_capacity > 0,
+            "stale capacity must be positive"
+        );
+        let partition = Partition::by_bands(&graph, config.n_shards);
+        let chaos = Arc::new(config.chaos.clone());
+        let mut receivers = Vec::new();
+        let shards: Vec<ShardRuntime> = partition
+            .shards()
+            .iter()
+            .map(|s| {
+                let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
+                receivers.push(Arc::new(Mutex::new(rx)));
+                ShardRuntime {
+                    instance: RwLock::new(Arc::new(VlpInstance::uniform(
+                        s.graph().clone(),
+                        config.delta,
+                    ))),
+                    table: Mutex::new(ShardTable::new(&config)),
+                    sender: Mutex::new(Some(tx)),
+                    drained: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let shared = Arc::new(CoreShared {
+            partition,
+            shards,
+            chaos,
+            config,
+            epoch: AtomicU64::new(0),
+            inflight_jobs: Mutex::new(0),
+            idle: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let mut workers = Vec::new();
+        for (s, rx) in receivers.into_iter().enumerate() {
+            for w in 0..shared.config.solver_threads {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                let handle = thread::Builder::new()
+                    .name(format!("vlp-solve-{s}.{w}"))
+                    .spawn(move || worker_loop(shared, s, rx))
+                    .expect("spawn solver worker");
+                workers.push(handle);
+            }
+        }
+        Self { shared, workers }
+    }
+
+    /// Graceful shutdown: stops admitting solves, drops the queue
+    /// senders in shard order, and joins every worker — each drains
+    /// its queue FIFO before exiting. Idempotent.
+    pub(crate) fn shutdown(&mut self) -> ShutdownReport {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        for shard in &self.shared.shards {
+            lock(&shard.sender).take();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let drained: Vec<u64> = self
+            .shared
+            .shards
+            .iter()
+            .map(|shard| shard.drained.swap(0, Ordering::Relaxed))
+            .collect();
+        let total: u64 = drained.iter().sum();
+        if total > 0 {
+            vlp_obs::global().incr(metrics::QUEUE_DRAINED, total);
+        }
+        ShutdownReport { drained }
+    }
+}
+
+impl Drop for ServingCore {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}

@@ -4,26 +4,52 @@
 //! whole map — it partitions the road network into region shards
 //! ([`roadnet::Partition`]), poses an independent instance per shard,
 //! and serves vehicles from whichever shard they drive in.
-//! [`MechanismService`] is that serving layer:
+//! [`MechanismService`] is that serving layer, built on an always-on
+//! pipelined core (the private `core` submodule):
 //!
 //! * **Sharding** — the graph is split into bands of near-equal node
 //!   count; each shard owns its own [`VlpInstance`] (discretization,
-//!   interval distances, cost matrix) and its own task queue.
-//! * **LRU caching** — solved mechanisms are cached per
-//!   `(shard, ε-bucket)` with a capacity bound; hits, misses, and
-//!   evictions are counted in [`vlp_obs`]. Requested budgets are
-//!   rounded *down* to the bucket grid, so the cached mechanism is
+//!   interval distances, cost matrix), its own routing table, its own
+//!   bounded solve queue, and its own task queue.
+//! * **Caller-path serving** — solved mechanisms are cached per
+//!   `(shard, ε-bucket)` in a per-shard bounded LRU. A cache hit is
+//!   served on the caller path — one short per-shard lock, one `Arc`
+//!   refcount bump — and never enters a solve queue. Requested budgets
+//!   are rounded *down* to the bucket grid, so the cached mechanism is
 //!   always at least as private as requested.
-//! * **Deadline fallback** — cache misses are solved on a worker pool
-//!   (`std::thread::scope`); a request whose solve misses the
-//!   configured deadline is served immediately from the closed-form
-//!   graph-Laplace baseline ([`VlpInstance::fallback`]) at the same
-//!   canonical ε. The deadline trades *quality* (the fallback is
-//!   sub-optimal), never privacy. Late solves still land in the cache
-//!   before the batch returns, so the next batch hits.
+//! * **Pipelined solving** — cache misses are enqueued onto the
+//!   owning shard's bounded MPSC queue and solved by long-lived
+//!   per-shard worker threads; while the optimum is in flight the
+//!   request is served from the closed-form graph-Laplace baseline
+//!   ([`VlpInstance::fallback`]) at the same canonical ε. Duplicate
+//!   misses coalesce onto the in-flight solve.
+//! * **Admission control** — when a solve cannot be admitted (queue
+//!   full, open breaker, blackout, shutdown), the service sheds
+//!   explicitly: it serves a stale or previously built mechanism if it
+//!   has one, and otherwise returns [`Response::Rejected`] — bounded
+//!   queues and honest backpressure instead of unbounded queueing.
 //! * **Assignment** — obfuscated reports feed the same
 //!   Hungarian-matching snapshot path the single-region [`Server`]
 //!   uses, per shard.
+//!
+//! # Two frontends, one core
+//!
+//! [`MechanismService::obfuscate_batch`] is the synchronous batch API:
+//! it classifies a batch, feeds the misses through the same worker
+//! queues in *reply mode*, applies outcomes in deterministic key
+//! order, and serves. Whether fresh solves are served optimally is a
+//! **logical** deadline decision — [`ServiceConfig::solve_deadline`]
+//! `ZERO` means "serve cold requests from the fallback", anything else
+//! means "wait for this batch's solves" — so batch outputs are
+//! bit-reproducible on arbitrarily slow machines (no wall-clock race).
+//!
+//! [`MechanismService::submit`] (and the cloneable, thread-safe
+//! [`ServiceHandle`]) is the open-loop API vehicles hit individually:
+//! it returns immediately with a served mechanism or an explicit
+//! rejection, while solver workers warm the cache behind it.
+//! [`MechanismService::tick`] advances the logical epoch (breaker
+//! cooldowns, chaos schedule, metric flush); `bench_load` drives this
+//! path at tens of thousands of requests per second.
 //!
 //! # The resilience ladder
 //!
@@ -38,11 +64,10 @@
 //!    [`ResilienceConfig::max_attempts`] times with deterministic
 //!    exponential backoff plus seeded jitter;
 //! 2. **Circuit breaker** — each shard carries a
-//!    closed → open → half-open breaker
-//!    ([`BreakerState`]); after
+//!    closed → open → half-open breaker ([`BreakerState`]); after
 //!    [`ResilienceConfig::breaker_threshold`] consecutive solve
 //!    failures the shard's solves are shed entirely for
-//!    [`ResilienceConfig::breaker_cooldown`] batches, then probed with
+//!    [`ResilienceConfig::breaker_cooldown`] epochs, then probed with
 //!    a single solve before re-closing;
 //! 3. **Stale serving** — mechanisms displaced from the cache
 //!    (LRU eviction, prior invalidation, evict storms) are demoted to
@@ -53,7 +78,9 @@
 //!    exactly as private as a fresh optimum, merely suboptimal;
 //! 4. **Fallback** — with nothing cached and nothing stale, the
 //!    closed-form graph-Laplace fallback serves at the same ε, as
-//!    before.
+//!    before — except under backpressure, where a completely cold key
+//!    is rejected rather than spending solve work the shard cannot
+//!    afford.
 //!
 //! The invariant at every rung: **the served mechanism satisfies
 //! full-spec ε-Geo-I at the canonical ε**. With no faults injected the
@@ -63,44 +90,53 @@
 //! [`Server`]: crate::Server
 
 use std::collections::{HashMap, HashSet};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::RngExt;
 use roadnet::{Location, Partition, RoadGraph};
 use vlp_core::{CgOptions, Mechanism, Prior, VlpInstance};
-use vlp_obs::failpoint::{self, site, FaultPlan};
+use vlp_obs::failpoint::{site, FaultPlan};
 
 use crate::server::assign_snapshot;
 use crate::{SnapshotOutcome, Task, TaskId, WorkerId};
 
+pub(crate) mod core;
+mod ladder;
+
+use core::{lock, CoreShared, ServingCore};
+use ladder::{CachedSolve, MissOutcome};
+
+pub use core::ShutdownReport;
+pub use ladder::BreakerState;
+
 /// Telemetry metric names recorded by [`MechanismService`].
 pub mod metrics {
-    /// Counter: obfuscation requests received across batches.
+    /// Counter: obfuscation requests received (batch and open-loop).
     pub const REQUESTS: &str = "service.requests";
     /// Timer: wall time of one `obfuscate_batch` call.
     pub const BATCH_TIME: &str = "service.batch";
     /// Counter: requests whose `(shard, ε-bucket)` mechanism was
-    /// already cached when the batch arrived.
+    /// already cached when they arrived.
     pub const CACHE_HITS: &str = "service.cache_hits";
     /// Counter: requests that found no cached mechanism.
     pub const CACHE_MISSES: &str = "service.cache_misses";
     /// Counter: cache entries evicted to respect the capacity bound.
     pub const CACHE_EVICTIONS: &str = "service.cache_evictions";
     /// Counter: requests served from an optimally solved mechanism
-    /// (cached or solved within the deadline).
+    /// (cached, or solved by this batch and served optimally).
     pub const OPTIMAL_SERVED: &str = "service.optimal_served";
-    /// Counter: requests served from the graph-Laplace fallback
-    /// because the solve missed the deadline (or failed).
+    /// Counter: requests served from the graph-Laplace fallback (cold
+    /// key with the solve still in flight, or nothing better to shed
+    /// to).
     pub const FALLBACK_SERVED: &str = "service.fallback_served";
-    /// Timer: wall time of one per-shard mechanism solve on the
-    /// worker pool.
+    /// Timer: wall time of one per-shard mechanism solve on a solver
+    /// worker.
     pub const SOLVE_TIME: &str = "service.solve";
-    /// Counter: solves that returned an error (the request falls back;
-    /// nothing is cached).
+    /// Counter: solves that exhausted their retries with an error (the
+    /// request degrades; nothing is cached).
     pub const SOLVE_ERRORS: &str = "service.solve_errors";
     /// Counter: requests whose location could not be mapped into any
     /// shard (e.g. on a dropped cross-boundary edge); they are skipped.
@@ -132,12 +168,35 @@ pub mod metrics {
     /// shard's breaker was open (or its half-open probe slot was
     /// taken).
     pub const BREAKER_SHED: &str = "service.breaker.shed";
+    /// Counter: solve jobs admitted onto a shard's bounded queue.
+    pub const QUEUE_ENQUEUED: &str = "service.queue.enqueued";
+    /// Counter: cache misses that coalesced onto an in-flight solve
+    /// for the same `(shard, ε-bucket)` instead of enqueueing again.
+    pub const QUEUE_COALESCED: &str = "service.queue.coalesced";
+    /// Counter: solve admissions refused because the shard's queue was
+    /// full (explicit backpressure; the request is shed).
+    pub const QUEUE_FULL: &str = "service.queue.full";
+    /// Counter: queued solve jobs completed during a graceful
+    /// shutdown's drain.
+    pub const QUEUE_DRAINED: &str = "service.queue.drained";
+    /// Counter: open-loop requests rejected outright — shed with
+    /// nothing cached, stale, or previously built to degrade to.
+    pub const SHED_REJECTED: &str = "service.shed.rejected";
+    /// Counter: open-loop requests shed but served degraded (stale or
+    /// previously built fallback).
+    pub const SHED_DEGRADED: &str = "service.shed.degraded";
 
-    /// Series name recording shard `s`'s breaker state once per batch:
+    /// Series name recording shard `s`'s breaker state once per epoch:
     /// `0` closed, `1` half-open, `2` open. Part of the service's
     /// health snapshot in the `vlp-obs` schema.
     pub fn breaker_state_series(s: usize) -> String {
         format!("service.breaker.state.{s}")
+    }
+
+    /// Series name sampling shard `s`'s in-flight solve count (queued
+    /// plus running) once per epoch.
+    pub fn queue_depth_series(s: usize) -> String {
+        format!("service.queue.depth.{s}")
     }
 }
 
@@ -157,16 +216,23 @@ pub struct ServiceConfig {
     /// never less private than asked for. Requests below one bucket
     /// width are rejected.
     pub epsilon_bucket: f64,
-    /// Maximum number of `(shard, ε-bucket)` mechanisms kept in the
+    /// Maximum number of ε-bucket mechanisms kept in *each shard's*
     /// LRU cache.
     pub cache_capacity: usize,
-    /// How long one `obfuscate_batch` call synchronously waits for
-    /// cache-miss solves before serving the fallback. `ZERO` means
-    /// "never wait": every cold request is served from the fallback
-    /// (the solves still complete and populate the cache before the
-    /// call returns).
+    /// Bound on each shard's solve queue. A miss that finds the queue
+    /// full is shed (served degraded, or rejected when cold) instead
+    /// of blocking — explicit backpressure.
+    pub queue_capacity: usize,
+    /// Whether `obfuscate_batch` serves its own fresh solves
+    /// optimally. This is a *logical* deadline: `ZERO` means "never
+    /// wait" — every cold request is served from the fallback (the
+    /// solves still complete and populate the cache before the call
+    /// returns); any nonzero value means the batch waits for its
+    /// admitted solves and serves them optimally. No wall clock is
+    /// raced, so batch outputs are identical on fast and slow machines;
+    /// injected deadline jitter flips a batch to "never wait".
     pub solve_deadline: Duration,
-    /// Worker threads for cache-miss solves within one batch.
+    /// Long-lived solver worker threads *per shard*.
     pub solver_threads: usize,
     /// Retry, breaker, and stale-store tuning for the resilience
     /// ladder (see the [module docs](self)).
@@ -187,6 +253,7 @@ impl Default for ServiceConfig {
             cg: CgOptions::default(),
             epsilon_bucket: 0.25,
             cache_capacity: 64,
+            queue_capacity: 256,
             solve_deadline: Duration::from_millis(200),
             solver_threads: 2,
             resilience: ResilienceConfig::default(),
@@ -199,9 +266,9 @@ impl Default for ServiceConfig {
 /// per-shard circuit breaker (rung 2), and the stale store (rung 3).
 #[derive(Debug, Clone)]
 pub struct ResilienceConfig {
-    /// Total solve attempts per `(shard, ε-bucket)` per batch,
-    /// including the first (≥ 1). Attempts beyond the first are
-    /// counted as [`metrics::RETRY_ATTEMPTS`].
+    /// Total solve attempts per queued job, including the first (≥ 1).
+    /// Attempts beyond the first are counted as
+    /// [`metrics::RETRY_ATTEMPTS`].
     pub max_attempts: u32,
     /// Base backoff before the first retry; attempt `n` waits
     /// `min(backoff_base · 2ⁿ⁻¹, backoff_cap)` plus deterministic
@@ -212,10 +279,10 @@ pub struct ResilienceConfig {
     /// Consecutive solve failures (retries exhausted) that trip a
     /// shard's breaker from `Closed` to `Open`.
     pub breaker_threshold: u32,
-    /// Batches a breaker stays `Open` before moving to `HalfOpen` and
-    /// admitting a single probe solve.
+    /// Epochs (batches) a breaker stays `Open` before moving to
+    /// `HalfOpen` and admitting a single probe solve.
     pub breaker_cooldown: u64,
-    /// Maximum `(shard, ε-bucket)` entries kept in the stale store;
+    /// Maximum ε-bucket entries kept in *each shard's* stale store;
     /// the oldest demotion is dropped first.
     pub stale_capacity: usize,
 }
@@ -233,131 +300,30 @@ impl Default for ResilienceConfig {
     }
 }
 
-/// The per-shard circuit-breaker state (ladder rung 2).
-///
-/// ```text
-///            ≥ threshold consecutive
-///            solve failures
-///  Closed ───────────────────────────► Open
-///    ▲                                  │ cooldown batches elapse
-///    │ probe solve                      ▼
-///    └────────────────────────────── HalfOpen
-///      succeeds          (probe fails: back to Open)
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerState {
-    /// Normal operation: cache-miss solves run on the worker pool.
-    Closed,
-    /// The shard's solves are shed without an attempt; requests are
-    /// served from the stale store or the fallback.
-    Open,
-    /// The cooldown elapsed: exactly one probe solve per batch is
-    /// admitted; success re-closes, failure re-opens.
-    HalfOpen,
-}
-
-impl BreakerState {
-    /// Numeric encoding used by [`metrics::breaker_state_series`]:
-    /// `0` closed, `1` half-open, `2` open.
-    pub fn as_f64(self) -> f64 {
-        match self {
-            BreakerState::Closed => 0.0,
-            BreakerState::HalfOpen => 1.0,
-            BreakerState::Open => 2.0,
-        }
-    }
-}
-
-/// One shard's circuit breaker. All transitions happen at
-/// deterministic points of `obfuscate_batch` (tick at batch start,
-/// success/failure accounting in solve-key order), so breaker
-/// trajectories are reproducible for a given fault schedule.
-#[derive(Debug, Clone)]
-struct Breaker {
-    state: BreakerState,
-    consecutive_failures: u32,
-    opened_at: u64,
-}
-
-impl Breaker {
-    fn new() -> Self {
-        Self {
-            state: BreakerState::Closed,
-            consecutive_failures: 0,
-            opened_at: 0,
-        }
-    }
-
-    /// Batch-start transition: `Open` → `HalfOpen` once the cooldown
-    /// has elapsed. Returns whether the transition happened.
-    fn tick(&mut self, batch: u64, cooldown: u64) -> bool {
-        if self.state == BreakerState::Open && batch >= self.opened_at.saturating_add(cooldown) {
-            self.state = BreakerState::HalfOpen;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Records one solve failure (retries exhausted, or a blackout).
-    /// Returns whether the breaker transitioned to `Open`.
-    fn on_failure(&mut self, batch: u64, threshold: u32) -> bool {
-        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        match self.state {
-            BreakerState::Closed if self.consecutive_failures >= threshold => {
-                self.state = BreakerState::Open;
-                self.opened_at = batch;
-                true
-            }
-            BreakerState::HalfOpen => {
-                self.state = BreakerState::Open;
-                self.opened_at = batch;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Records one successful solve. Returns whether a half-open
-    /// breaker re-closed. A success while `Open` (a solve raced the
-    /// trip in the same batch) resets the failure run but stays open —
-    /// recovery is only ever declared by a half-open probe.
-    fn on_success(&mut self) -> bool {
-        self.consecutive_failures = 0;
-        if self.state == BreakerState::HalfOpen {
-            self.state = BreakerState::Closed;
-            true
-        } else {
-            false
-        }
-    }
-}
-
 /// Where a served mechanism came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Served {
     /// The optimally solved mechanism for the request's
     /// `(shard, ε-bucket)`; `cached` is true when it was already in
-    /// the cache before this batch.
+    /// the cache before this request (or batch) arrived.
     Optimal {
         /// Whether the mechanism was a cache hit (vs. solved within
-        /// this batch's deadline).
+        /// this batch and served under the logical deadline).
         cached: bool,
     },
     /// A previously solved optimal mechanism for the same
     /// `(shard, ε-bucket)`, served from the stale store because the
-    /// fresh solve failed or was shed by an open breaker. Same
-    /// canonical ε and interval graph as a fresh optimum — identical
-    /// privacy, possibly suboptimal quality (e.g. solved under an
-    /// outdated prior).
+    /// fresh solve failed or was shed. Same canonical ε and interval
+    /// graph as a fresh optimum — identical privacy, possibly
+    /// suboptimal quality (e.g. solved under an outdated prior).
     Stale {
-        /// Batches elapsed since the mechanism was demoted from the
-        /// primary cache.
+        /// Epochs (batches) elapsed since the mechanism was demoted
+        /// from the primary cache.
         age_batches: u64,
     },
-    /// The graph-Laplace fallback: the solve missed the deadline (or
-    /// failed with nothing stale to serve), so quality was sacrificed
-    /// to keep ε intact.
+    /// The graph-Laplace fallback: the optimum was not available in
+    /// time (cold key, solve in flight, or failed with nothing stale),
+    /// so quality was sacrificed to keep ε intact.
     Fallback,
 }
 
@@ -380,130 +346,41 @@ pub struct Obfuscation {
     pub served: Served,
 }
 
-/// A mechanism held in the service cache.
-#[derive(Debug, Clone)]
-struct CachedSolve {
-    mechanism: Mechanism,
-    quality_loss: f64,
+/// The outcome of one open-loop submission ([`MechanismService::submit`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Response {
+    /// The request was served an obfuscation (possibly degraded — see
+    /// [`Obfuscation::served`]).
+    Served(Obfuscation),
+    /// Admission control rejected the request: its `(shard, ε-bucket)`
+    /// was shed (queue full, open breaker, blackout, or shutdown) and
+    /// the shard had nothing cached, stale, or previously built to
+    /// degrade to. Explicit backpressure — the caller retries later or
+    /// reports at a coarser ε.
+    Rejected {
+        /// The requesting worker.
+        worker: WorkerId,
+        /// The shard the request routed to.
+        shard: usize,
+        /// The canonical ε the request would have been served at.
+        epsilon: f64,
+    },
+    /// The location mapped into no shard (dropped cross-boundary
+    /// edge); nothing was served.
+    OffPartition {
+        /// The requesting worker.
+        worker: WorkerId,
+    },
 }
 
-/// What happened to one distinct cache-miss `(shard, ε-bucket)` key.
-/// `Solved`/`Failed` carry `(elapsed, retries, panics-caught)` from the
-/// worker; `Blackout` and `Shed` never reached the pool.
-enum MissOutcome {
-    Solved(CachedSolve, Duration, u32, u32),
-    Failed(Duration, u32, u32),
-    Blackout,
-    Shed,
-}
-
-/// The failpoint evaluation key for one solve attempt: a pure mix of
-/// `(batch, shard, ε-bucket, attempt)`, so fault schedules are
-/// independent of how solves are distributed over worker threads.
-fn solve_key(batch: u64, key: (usize, u64), attempt: u32) -> u64 {
-    batch
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((key.0 as u64).rotate_left(40))
-        .wrapping_add(key.1.rotate_left(20))
-        .wrapping_add(u64::from(attempt))
-}
-
-/// A minimal LRU map over `(shard, ε-bucket)` keys: recency is a
-/// monotonic tick; eviction scans for the minimum (capacities are
-/// small, and the scan is deterministic because ticks are unique).
-#[derive(Debug)]
-struct LruCache {
-    capacity: usize,
-    tick: u64,
-    map: HashMap<(usize, u64), (CachedSolve, u64)>,
-}
-
-impl LruCache {
-    fn new(capacity: usize) -> Self {
-        Self {
-            capacity,
-            tick: 0,
-            map: HashMap::new(),
+impl Response {
+    /// The served obfuscation, if the request was served.
+    pub fn served(&self) -> Option<&Obfuscation> {
+        match self {
+            Response::Served(o) => Some(o),
+            _ => None,
         }
     }
-
-    fn contains(&self, key: (usize, u64)) -> bool {
-        self.map.contains_key(&key)
-    }
-
-    fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    fn get(&mut self, key: (usize, u64)) -> Option<&CachedSolve> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(&key).map(|entry| {
-            entry.1 = tick;
-            &entry.0
-        })
-    }
-
-    /// Inserts (or refreshes) an entry; returns the entry evicted to
-    /// make room, if any, so the caller can demote it to the stale
-    /// store instead of losing it.
-    fn insert(
-        &mut self,
-        key: (usize, u64),
-        value: CachedSolve,
-    ) -> Option<((usize, u64), CachedSolve)> {
-        self.tick += 1;
-        let mut evicted = None;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (_, tick))| *tick)
-                .map(|(&k, _)| k)
-            {
-                let (entry, _) = self.map.remove(&oldest).expect("oldest key present");
-                evicted = Some((oldest, entry));
-            }
-        }
-        self.map.insert(key, (value, self.tick));
-        evicted
-    }
-
-    /// Removes every entry belonging to `shard` and returns them (in
-    /// key order) for demotion to the stale store.
-    fn invalidate_shard(&mut self, shard: usize) -> Vec<((usize, u64), CachedSolve)> {
-        self.drain_where(|&(s, _)| s == shard)
-    }
-
-    /// Removes every entry (an evict storm) and returns them in key
-    /// order.
-    fn drain_all(&mut self) -> Vec<((usize, u64), CachedSolve)> {
-        self.drain_where(|_| true)
-    }
-
-    fn drain_where(
-        &mut self,
-        pred: impl Fn(&(usize, u64)) -> bool,
-    ) -> Vec<((usize, u64), CachedSolve)> {
-        let mut keys: Vec<(usize, u64)> = self.map.keys().filter(|k| pred(k)).copied().collect();
-        keys.sort_unstable();
-        keys.into_iter()
-            .map(|k| {
-                let (entry, _) = self.map.remove(&k).expect("key listed above");
-                (k, entry)
-            })
-            .collect()
-    }
-}
-
-/// One region shard: its VLP instance, its task queue, and its
-/// circuit breaker. Task ids are numbered per shard.
-#[derive(Debug)]
-struct Shard {
-    instance: VlpInstance,
-    tasks: Vec<Task>,
-    pending: Vec<TaskId>,
-    breaker: Breaker,
 }
 
 /// One shard's slice of the service health snapshot.
@@ -516,27 +393,83 @@ pub struct ShardHealth {
     /// Consecutive solve failures in the current run (resets on any
     /// success).
     pub consecutive_failures: u32,
-    /// The batch at which the breaker last opened, when not `Closed`.
+    /// The epoch at which the breaker last opened, when not `Closed`.
     pub opened_at_batch: Option<u64>,
     /// Solved mechanisms currently cached for this shard.
     pub cached: usize,
     /// Mechanisms held in the stale store for this shard.
     pub stale: usize,
+    /// Solve jobs queued or running for this shard.
+    pub inflight: usize,
 }
 
 /// A readiness/health snapshot of the service, for operators and
-/// harnesses. The same information is exported per batch through the
-/// `vlp-obs` registry (`service.breaker.state.<s>` series plus the
-/// `service.*`/`chaos.*` counters) — see `OPERATIONS.md`.
+/// harnesses. The same information is exported per epoch through the
+/// `vlp-obs` registry (`service.breaker.state.<s>` and
+/// `service.queue.depth.<s>` series plus the `service.*`/`chaos.*`
+/// counters) — see `OPERATIONS.md`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceHealth {
-    /// Batches served so far.
+    /// Epochs (batches) served so far.
     pub batches: u64,
     /// Whether every shard's breaker is closed (full capacity; no
-    /// degraded serving beyond deadline fallbacks).
+    /// degraded serving beyond warm-up fallbacks).
     pub ready: bool,
     /// Per-shard detail, in shard order.
     pub shards: Vec<ShardHealth>,
+}
+
+/// A cloneable, thread-safe handle for driving a [`MechanismService`]'s
+/// open-loop path from other threads: `submit` requests, `tick` the
+/// logical clock, `quiesce` on in-flight solves, `flush_metrics`. The
+/// handle stays valid after the service shuts down — submissions then
+/// serve only from cached/stale/fallback state and reject cold keys.
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    shared: Arc<CoreShared>,
+}
+
+impl ServiceHandle {
+    /// Serves one request on the caller path — see
+    /// [`MechanismService::submit`].
+    pub fn submit<R: RngExt + ?Sized>(
+        &self,
+        worker: WorkerId,
+        loc: Location,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Response {
+        self.shared.submit(worker, loc, epsilon, rng)
+    }
+
+    /// Advances the logical epoch — see [`MechanismService::tick`].
+    pub fn tick(&self) -> u64 {
+        self.shared.tick()
+    }
+
+    /// Blocks until no solve job is queued or running.
+    pub fn quiesce(&self) {
+        self.shared.quiesce()
+    }
+
+    /// Publishes accumulated per-shard counters into the `vlp-obs`
+    /// registry without advancing the epoch.
+    pub fn flush_metrics(&self) {
+        self.shared.flush_metrics()
+    }
+
+    /// The current logical epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-shard task queue state (assignment side; not touched by the
+/// serving core).
+#[derive(Debug, Default)]
+struct TaskShard {
+    tasks: Vec<Task>,
+    pending: Vec<TaskId>,
 }
 
 /// The concurrent, sharded mechanism-serving layer. See the
@@ -544,145 +477,119 @@ pub struct ServiceHealth {
 /// ladder.
 #[derive(Debug)]
 pub struct MechanismService {
-    partition: Partition,
-    shards: Vec<Shard>,
-    cache: LruCache,
-    /// Ladder rung 3: mechanisms displaced from the primary cache,
-    /// keyed like it, each tagged with the batch of its demotion.
-    stale: HashMap<(usize, u64), (CachedSolve, u64)>,
-    fallbacks: HashMap<(usize, u64), Mechanism>,
-    /// The fault-injection schedule, shared with solver workers.
-    chaos: Arc<FaultPlan>,
-    /// Batches served so far; the key for batch-scoped failpoints and
-    /// staleness ages.
-    batches: u64,
-    config: ServiceConfig,
+    core: ServingCore,
+    tasks: Vec<TaskShard>,
 }
 
 impl MechanismService {
     /// Boots a service over `graph`: partitions it into
-    /// `config.n_shards` region shards and prepares one uniform-prior
-    /// [`VlpInstance`] per shard. No mechanism is solved yet — the
-    /// cache starts cold and fills on demand.
+    /// `config.n_shards` region shards, prepares one uniform-prior
+    /// [`VlpInstance`] per shard, and starts
+    /// [`ServiceConfig::solver_threads`] long-lived solver workers per
+    /// shard. No mechanism is solved yet — the cache starts cold and
+    /// fills on demand.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is degenerate (zero shards, bucket
-    /// width, capacity, or threads; non-positive δ) or the graph is too
-    /// small to partition into `n_shards` bands.
+    /// width, capacities, or threads; non-positive δ) or the graph is
+    /// too small to partition into `n_shards` bands.
     pub fn new(graph: RoadGraph, config: ServiceConfig) -> Self {
-        assert!(config.n_shards > 0, "need at least one shard");
-        assert!(config.delta > 0.0, "delta must be positive");
-        assert!(config.epsilon_bucket > 0.0, "bucket width must be positive");
-        assert!(config.cache_capacity > 0, "cache capacity must be positive");
-        assert!(config.solver_threads > 0, "need at least one solver thread");
-        assert!(
-            config.resilience.max_attempts > 0,
-            "need at least one solve attempt"
-        );
-        assert!(
-            config.resilience.breaker_threshold > 0,
-            "breaker threshold must be positive"
-        );
-        assert!(
-            config.resilience.stale_capacity > 0,
-            "stale capacity must be positive"
-        );
-        let partition = Partition::by_bands(&graph, config.n_shards);
-        let shards = partition
-            .shards()
-            .iter()
-            .map(|s| Shard {
-                instance: VlpInstance::uniform(s.graph().clone(), config.delta),
-                tasks: Vec::new(),
-                pending: Vec::new(),
-                breaker: Breaker::new(),
-            })
+        let core = ServingCore::new(graph, config);
+        let tasks = (0..core.shared.shards.len())
+            .map(|_| TaskShard::default())
             .collect();
-        let chaos = Arc::new(config.chaos.clone());
-        Self {
-            partition,
-            shards,
-            cache: LruCache::new(config.cache_capacity),
-            stale: HashMap::new(),
-            fallbacks: HashMap::new(),
-            chaos,
-            batches: 0,
-            config,
-        }
+        Self { core, tasks }
     }
 
     /// The region partition the service shards over.
     pub fn partition(&self) -> &Partition {
-        &self.partition
+        &self.core.shared.partition
     }
 
     /// Number of region shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shared.shards.len()
     }
 
-    /// The VLP instance of shard `s`.
+    /// A snapshot of shard `s`'s VLP instance (cheap: one refcount
+    /// bump; prior updates swap the instance copy-on-write).
     ///
     /// # Panics
     ///
     /// Panics if `s` is out of range.
-    pub fn shard_instance(&self, s: usize) -> &VlpInstance {
-        &self.shards[s].instance
+    pub fn shard_instance(&self, s: usize) -> Arc<VlpInstance> {
+        self.core.shared.shards[s].instance()
     }
 
-    /// Number of solved mechanisms currently cached.
+    /// Number of solved mechanisms currently cached across shards.
     pub fn cached_mechanisms(&self) -> usize {
-        self.cache.len()
+        self.core
+            .shared
+            .shards
+            .iter()
+            .map(|shard| lock(&shard.table).cache.len())
+            .sum()
     }
 
     /// The quality loss (ETDD) of the cached optimal mechanism for
     /// shard `s` at `epsilon`'s bucket, if one is cached. Does not
     /// touch LRU recency.
     pub fn cached_quality_loss(&self, s: usize, epsilon: f64) -> Option<f64> {
-        let (bucket, _) = self.bucket(epsilon);
-        self.cache
+        let (bucket, _) = self.core.shared.bucket(epsilon);
+        lock(&self.core.shared.shards[s].table)
+            .cache
             .map
-            .get(&(s, bucket))
+            .get(&bucket)
             .map(|entry| entry.0.quality_loss)
     }
 
     /// The cached optimal mechanism for shard `s` at `epsilon`'s
     /// bucket, if one is cached. Does not touch LRU recency — use for
     /// auditing (e.g. [`vlp_core::privacy::verify`]), not serving.
-    pub fn cached_mechanism(&self, s: usize, epsilon: f64) -> Option<&Mechanism> {
-        let (bucket, _) = self.bucket(epsilon);
-        self.cache
+    pub fn cached_mechanism(&self, s: usize, epsilon: f64) -> Option<Arc<Mechanism>> {
+        let (bucket, _) = self.core.shared.bucket(epsilon);
+        lock(&self.core.shared.shards[s].table)
+            .cache
             .map
-            .get(&(s, bucket))
-            .map(|entry| &entry.0.mechanism)
+            .get(&bucket)
+            .map(|entry| Arc::clone(&entry.0.mechanism))
     }
 
     /// The graph-Laplace fallback mechanism for shard `s` at
     /// `epsilon`'s bucket, if one has been built (fallbacks are built
-    /// lazily, on the first deadline miss of their key).
-    pub fn fallback_mechanism(&self, s: usize, epsilon: f64) -> Option<&Mechanism> {
-        let (bucket, _) = self.bucket(epsilon);
-        self.fallbacks.get(&(s, bucket))
+    /// lazily, on the first cold serve of their key).
+    pub fn fallback_mechanism(&self, s: usize, epsilon: f64) -> Option<Arc<Mechanism>> {
+        let (bucket, _) = self.core.shared.bucket(epsilon);
+        lock(&self.core.shared.shards[s].table)
+            .fallbacks
+            .get(&bucket)
+            .map(Arc::clone)
     }
 
-    /// Number of mechanisms currently held in the stale store.
+    /// Number of mechanisms currently held in the stale stores.
     pub fn stale_mechanisms(&self) -> usize {
-        self.stale.len()
+        self.core
+            .shared
+            .shards
+            .iter()
+            .map(|shard| lock(&shard.table).stale.len())
+            .sum()
     }
 
     /// The stale mechanism for shard `s` at `epsilon`'s bucket, if one
-    /// is held, with the batch it was demoted at.
-    pub fn stale_mechanism(&self, s: usize, epsilon: f64) -> Option<(&Mechanism, u64)> {
-        let (bucket, _) = self.bucket(epsilon);
-        self.stale
-            .get(&(s, bucket))
-            .map(|(entry, demoted)| (&entry.mechanism, *demoted))
+    /// is held, with the epoch it was demoted at.
+    pub fn stale_mechanism(&self, s: usize, epsilon: f64) -> Option<(Arc<Mechanism>, u64)> {
+        let (bucket, _) = self.core.shared.bucket(epsilon);
+        lock(&self.core.shared.shards[s].table)
+            .stale
+            .get(&bucket)
+            .map(|(entry, demoted)| (Arc::clone(&entry.mechanism), *demoted))
     }
 
-    /// Batches served so far.
+    /// Epochs (batches) served so far.
     pub fn batches_served(&self) -> u64 {
-        self.batches
+        self.core.shared.epoch.load(Ordering::Relaxed)
     }
 
     /// The breaker state of shard `s`.
@@ -691,29 +598,35 @@ impl MechanismService {
     ///
     /// Panics if `s` is out of range.
     pub fn breaker_state(&self, s: usize) -> BreakerState {
-        self.shards[s].breaker.state
+        lock(&self.core.shared.shards[s].table).breaker.state
     }
 
     /// A point-in-time health/readiness snapshot: per-shard breaker
-    /// states, failure runs, and cache/stale occupancy. The same data
-    /// lands in the `vlp-obs` registry every batch.
+    /// states, failure runs, cache/stale occupancy, and queue depth.
+    /// The same data lands in the `vlp-obs` registry every epoch.
     pub fn health(&self) -> ServiceHealth {
         let shards = self
+            .core
+            .shared
             .shards
             .iter()
             .enumerate()
-            .map(|(s, shard)| ShardHealth {
-                shard: s,
-                breaker: shard.breaker.state,
-                consecutive_failures: shard.breaker.consecutive_failures,
-                opened_at_batch: (shard.breaker.state != BreakerState::Closed)
-                    .then_some(shard.breaker.opened_at),
-                cached: self.cache.map.keys().filter(|&&(sh, _)| sh == s).count(),
-                stale: self.stale.keys().filter(|&&(sh, _)| sh == s).count(),
+            .map(|(s, shard)| {
+                let t = lock(&shard.table);
+                ShardHealth {
+                    shard: s,
+                    breaker: t.breaker.state,
+                    consecutive_failures: t.breaker.consecutive_failures,
+                    opened_at_batch: (t.breaker.state != BreakerState::Closed)
+                        .then_some(t.breaker.opened_at),
+                    cached: t.cache.len(),
+                    stale: t.stale.len(),
+                    inflight: t.inflight.len(),
+                }
             })
             .collect::<Vec<_>>();
         ServiceHealth {
-            batches: self.batches,
+            batches: self.batches_served(),
             ready: shards.iter().all(|h| h.breaker == BreakerState::Closed),
             shards,
         }
@@ -725,50 +638,33 @@ impl MechanismService {
     /// Chaos harnesses audit each against full-spec
     /// [`vlp_core::privacy::verify`]: everything servable must satisfy
     /// ε-Geo-I at its canonical ε, whatever rung it sits on.
-    pub fn live_mechanisms(&self) -> Vec<(usize, f64, &Mechanism)> {
-        let width = self.config.epsilon_bucket;
-        let mut out: Vec<(usize, u64, &Mechanism)> = Vec::new();
-        out.extend(
-            self.cache
-                .map
-                .iter()
-                .map(|(&(s, b), (entry, _))| (s, b, &entry.mechanism)),
-        );
-        out.extend(
-            self.stale
-                .iter()
-                .map(|(&(s, b), (entry, _))| (s, b, &entry.mechanism)),
-        );
-        out.extend(self.fallbacks.iter().map(|(&(s, b), m)| (s, b, m)));
+    pub fn live_mechanisms(&self) -> Vec<(usize, f64, Arc<Mechanism>)> {
+        let width = self.core.shared.config.epsilon_bucket;
+        let mut out: Vec<(usize, u64, Arc<Mechanism>)> = Vec::new();
+        for (s, shard) in self.core.shared.shards.iter().enumerate() {
+            let t = lock(&shard.table);
+            out.extend(
+                t.cache
+                    .map
+                    .iter()
+                    .map(|(&b, (entry, _))| (s, b, Arc::clone(&entry.mechanism))),
+            );
+            out.extend(
+                t.stale
+                    .iter()
+                    .map(|(&b, (entry, _))| (s, b, Arc::clone(&entry.mechanism))),
+            );
+            out.extend(t.fallbacks.iter().map(|(&b, m)| (s, b, Arc::clone(m))));
+        }
         out.sort_by_key(|&(s, b, _)| (s, b));
         out.into_iter()
             .map(|(s, b, m)| (s, b as f64 * width, m))
             .collect()
     }
 
-    /// Demotes a displaced cache entry into the bounded stale store
-    /// (ladder rung 3), evicting the oldest demotion on overflow.
-    fn demote(&mut self, key: (usize, u64), entry: CachedSolve, batch: u64) {
-        if !self.stale.contains_key(&key)
-            && self.stale.len() >= self.config.resilience.stale_capacity
-        {
-            if let Some(&victim) = self
-                .stale
-                .iter()
-                .map(|(k, &(_, demoted))| (demoted, k))
-                .min()
-                .map(|(_, k)| k)
-            {
-                self.stale.remove(&victim);
-            }
-        }
-        self.stale.insert(key, (entry, batch));
-        vlp_obs::global().incr(metrics::STALE_DEMOTIONS, 1);
-    }
-
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
-        &self.config
+        &self.core.shared.config
     }
 
     /// The canonical ε a request for `epsilon` is served at: `epsilon`
@@ -780,23 +676,12 @@ impl MechanismService {
     /// Panics if `epsilon` is below one bucket width (rounding down
     /// would hit ε = 0, which no mechanism can satisfy usefully).
     pub fn canonical_epsilon(&self, epsilon: f64) -> f64 {
-        self.bucket(epsilon).1
+        self.core.shared.bucket(epsilon).1
     }
 
-    fn bucket(&self, epsilon: f64) -> (u64, f64) {
-        let width = self.config.epsilon_bucket;
-        assert!(
-            epsilon >= width,
-            "requested epsilon {epsilon} is below the bucket width {width}"
-        );
-        // The nudge keeps exact multiples (5.0 / 0.25) from flooring
-        // into the bucket below through float error.
-        let bucket = (epsilon / width + 1e-9).floor() as u64;
-        (bucket, bucket as f64 * width)
-    }
-
-    /// Updates shard `s`'s worker prior and invalidates its cached
-    /// mechanisms (they were optimal for the old prior). Fallbacks are
+    /// Updates shard `s`'s worker prior (copy-on-write: in-flight
+    /// solves keep the old instance and are demoted to stale when they
+    /// land) and invalidates its cached mechanisms. Fallbacks are
     /// prior-free and stay.
     ///
     /// # Panics
@@ -804,37 +689,92 @@ impl MechanismService {
     /// Panics if `s` is out of range or the prior's dimension does not
     /// match the shard's interval count.
     pub fn set_worker_prior(&mut self, s: usize, f_p: Prior) {
-        self.shards[s].instance.set_worker_prior(f_p);
-        let dropped = self.cache.invalidate_shard(s);
-        vlp_obs::global().incr(metrics::PRIOR_INVALIDATIONS, dropped.len() as u64);
-        // The displaced mechanisms are optimal for the *old* prior:
-        // stale in quality, identical in privacy — demote, don't drop.
-        let batch = self.batches;
-        for (key, entry) in dropped {
-            self.demote(key, entry, batch);
+        self.core.shared.set_worker_prior(s, f_p);
+    }
+
+    /// Serves one open-loop request on the caller path: a cache hit
+    /// returns the optimal mechanism without touching any queue; a
+    /// miss enqueues a solve on the owning shard's bounded queue
+    /// (coalescing duplicates) and serves the graph-Laplace fallback
+    /// while it is in flight; a miss that cannot be admitted (queue
+    /// full, open breaker, blackout, shutdown) is shed — served stale
+    /// or from a previously built fallback when possible, otherwise
+    /// [`Response::Rejected`]. Never blocks on solve work.
+    ///
+    /// Sampling uses the caller's `rng`; each submitting thread owns
+    /// its own rng (see [`ServiceHandle`]).
+    pub fn submit<R: RngExt + ?Sized>(
+        &self,
+        worker: WorkerId,
+        loc: Location,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Response {
+        self.core.shared.submit(worker, loc, epsilon, rng)
+    }
+
+    /// A cloneable, thread-safe handle onto the serving core for
+    /// open-loop drivers (load generators, per-vehicle threads).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.core.shared),
         }
     }
 
+    /// Advances the logical epoch: evaluates epoch-scoped chaos (evict
+    /// storms, shard blackouts), ticks breaker cooldowns, samples the
+    /// per-shard breaker/queue-depth series, and flushes per-shard
+    /// counters to `vlp-obs`. Open-loop drivers call this once per
+    /// reporting round. Returns the new epoch.
+    pub fn tick(&self) -> u64 {
+        self.core.shared.tick()
+    }
+
+    /// Blocks until no solve job is queued or running — the open-loop
+    /// analogue of a batch barrier, used to warm caches and to make
+    /// harness runs deterministic.
+    pub fn quiesce(&self) {
+        self.core.shared.quiesce()
+    }
+
+    /// Publishes accumulated per-shard counters into the `vlp-obs`
+    /// registry without advancing the epoch.
+    pub fn flush_metrics(&self) {
+        self.core.shared.flush_metrics()
+    }
+
+    /// Graceful shutdown: stops admitting new solves, lets the workers
+    /// drain every queued job (all of them complete and publish), and
+    /// joins them in shard order. Idempotent; also runs on drop.
+    /// Open-loop submission remains possible afterwards — hits, stale,
+    /// and prebuilt fallbacks still serve; cold keys are rejected.
+    pub fn shutdown(&mut self) -> ShutdownReport {
+        self.core.shutdown()
+    }
+
     /// Serves a batch of obfuscation requests `(worker, true location,
-    /// requested ε)` — the batch API vehicles hit each reporting round.
+    /// requested ε)` — the synchronous batch API vehicles hit each
+    /// reporting round.
     ///
     /// Cache hits are served directly. Distinct missing
-    /// `(shard, ε-bucket)` keys are solved on a pool of
-    /// [`ServiceConfig::solver_threads`] scoped threads; requests whose
-    /// solve finishes within [`ServiceConfig::solve_deadline`] are
-    /// served optimally, the rest from the graph-Laplace fallback at
-    /// the same canonical ε. All finished solves are cached before the
-    /// call returns. Requests whose location lies on no shard (dropped
-    /// cross-boundary edges) are skipped and counted as
-    /// `service.off_partition`.
+    /// `(shard, ε-bucket)` keys are fed through the per-shard solver
+    /// workers in reply mode; outcomes are applied in deterministic
+    /// key order. Whether this batch's own solves are served optimally
+    /// is the *logical* [`ServiceConfig::solve_deadline`] decision —
+    /// `ZERO` serves cold requests from the graph-Laplace fallback at
+    /// the same canonical ε (solves still land in the cache before the
+    /// call returns), nonzero waits and serves them optimally.
+    /// Requests whose location lies on no shard are skipped and
+    /// counted as `service.off_partition`.
     ///
     /// Under an injected fault schedule ([`ServiceConfig::chaos`]) the
-    /// resilience ladder engages: failed solve attempts retry with
-    /// backoff, shards with open breakers shed their solves, and keys
-    /// whose solve failed (or was shed) are served from the stale store
-    /// when possible ([`Served::Stale`]) — otherwise from the fallback.
-    /// A plain deadline miss is *not* a failure: it serves the fallback
-    /// exactly as in the fault-free service.
+    /// resilience ladder engages exactly as on the open-loop path:
+    /// failed solves retry with backoff, shards with open breakers
+    /// shed, and keys whose solve failed (or was shed) are served from
+    /// the stale store when possible ([`Served::Stale`]) — otherwise
+    /// from the fallback. A cold key that is *not* failed — merely not
+    /// waited for — always serves the fallback, exactly as in the
+    /// fault-free service.
     ///
     /// Sampling uses the caller's `rng`, so runs are reproducible.
     pub fn obfuscate_batch<R: RngExt + ?Sized>(
@@ -845,26 +785,30 @@ impl MechanismService {
         let obs = vlp_obs::global();
         let _span = obs.start(metrics::BATCH_TIME);
         obs.incr(metrics::REQUESTS, requests.len() as u64);
-        let batch = self.batches;
-        self.batches += 1;
+        let shared = &self.core.shared;
+        let batch = shared.epoch.fetch_add(1, Ordering::SeqCst);
+        let stale_capacity = shared.config.resilience.stale_capacity;
 
         // Batch-scoped chaos: deadline jitter, evict storms, and shard
         // blackouts are keyed by the batch index, so a schedule reads
         // as a timeline. With an empty plan this block is inert.
-        let plan = Arc::clone(&self.chaos);
+        let plan = Arc::clone(&shared.chaos);
         let chaos_on = !plan.is_empty();
-        let mut effective_deadline = self.config.solve_deadline;
+        let mut wait_for_solves = !shared.config.solve_deadline.is_zero();
         let mut blackout: HashSet<usize> = HashSet::new();
         if chaos_on {
             if plan.evaluate(site::SERVICE_DEADLINE_JITTER, batch) {
-                effective_deadline = Duration::ZERO;
+                wait_for_solves = false;
             }
             if plan.evaluate(site::SERVICE_EVICT_STORM, batch) {
-                for (key, entry) in self.cache.drain_all() {
-                    self.demote(key, entry, batch);
+                for shard in &shared.shards {
+                    let mut t = lock(&shard.table);
+                    for (bucket, entry) in t.cache.drain_all() {
+                        t.demote(stale_capacity, bucket, entry, batch);
+                    }
                 }
             }
-            for s in 0..self.shards.len() {
+            for s in 0..shared.shards.len() {
                 if plan.evaluate(&site::shard_blackout(s), batch) {
                     blackout.insert(s);
                 }
@@ -873,9 +817,9 @@ impl MechanismService {
 
         // Breaker tick: open breakers whose cooldown elapsed admit one
         // probe this batch.
-        let cooldown = self.config.resilience.breaker_cooldown;
-        for shard in &mut self.shards {
-            if shard.breaker.tick(batch, cooldown) {
+        let cooldown = shared.config.resilience.breaker_cooldown;
+        for shard in &shared.shards {
+            if lock(&shard.table).breaker.tick(batch, cooldown) {
                 obs.incr(metrics::BREAKER_HALF_OPEN, 1);
             }
         }
@@ -894,13 +838,13 @@ impl MechanismService {
         let mut missing_seen: HashSet<(usize, u64)> = HashSet::new();
         let (mut hits, mut misses) = (0u64, 0u64);
         for &(worker, loc, epsilon) in requests {
-            let Some((shard, local)) = self.partition.to_local(loc) else {
+            let Some((shard, local)) = shared.partition.to_local(loc) else {
                 obs.incr(metrics::OFF_PARTITION, 1);
                 continue;
             };
-            let (bucket, canonical) = self.bucket(epsilon);
+            let (bucket, canonical) = shared.bucket(epsilon);
             let key = (shard, bucket);
-            let was_hit = self.cache.contains(key);
+            let was_hit = lock(&shared.shards[shard].table).cache.contains(bucket);
             if was_hit {
                 hits += 1;
             } else {
@@ -927,7 +871,8 @@ impl MechanismService {
         let mut outcomes: Vec<((usize, u64), MissOutcome)> = Vec::new();
         let mut probe_used: HashSet<usize> = HashSet::new();
         for &(key, eps) in &missing {
-            match self.shards[key.0].breaker.state {
+            let state = lock(&shared.shards[key.0].table).breaker.state;
+            match state {
                 BreakerState::Open => outcomes.push((key, MissOutcome::Shed)),
                 BreakerState::HalfOpen if !probe_used.insert(key.0) => {
                     outcomes.push((key, MissOutcome::Shed));
@@ -937,115 +882,31 @@ impl MechanismService {
             }
         }
 
-        // Phase B: solve the admitted misses on the worker pool,
-        // waiting at most the (possibly jittered) deadline before
-        // moving on. The channel drain after the deadline blocks until
-        // every solve lands, so the cache is fully warm when this call
-        // returns — only *serving* is deadline-bound. Each attempt runs
-        // under a failpoint scope keyed by `(batch, key, attempt)` and
-        // an unwind boundary, so injected errors and panics retry with
-        // deterministic backoff (ladder rung 1).
-        let mut in_time: HashSet<(usize, u64)> = HashSet::new();
+        // Phase B: feed the admitted misses through the shard solver
+        // queues in reply mode and collect every outcome. Workers run
+        // the retry ladder (rung 1) exactly as on the open-loop path;
+        // the reply channel closes once the last job is done.
         if !to_solve.is_empty() {
-            let shards = &self.shards;
-            let cg = &self.config.cg;
-            let radius = self.config.radius;
-            let max_attempts = self.config.resilience.max_attempts;
-            let base_ns = self.config.resilience.backoff_base.as_nanos() as u64;
-            let cap_ns = self.config.resilience.backoff_cap.as_nanos() as u64;
-            let n_threads = self.config.solver_threads.min(to_solve.len());
-            let chunk_len = to_solve.len().div_ceil(n_threads);
-            thread::scope(|scope| {
-                let (tx, rx) = mpsc::channel();
-                for chunk in to_solve.chunks(chunk_len) {
-                    let tx = tx.clone();
-                    let plan = Arc::clone(&plan);
-                    scope.spawn(move || {
-                        for &(key, eps) in chunk {
-                            let started = Instant::now();
-                            let mut retries = 0u32;
-                            let mut panics = 0u32;
-                            let mut solved: Option<CachedSolve> = None;
-                            for attempt in 1..=max_attempts {
-                                if attempt > 1 {
-                                    retries += 1;
-                                    let exp = base_ns
-                                        .saturating_mul(1u64 << (attempt - 2).min(20))
-                                        .min(cap_ns);
-                                    let jitter = failpoint::backoff_jitter_ns(
-                                        plan.seed(),
-                                        solve_key(batch, key, 0),
-                                        attempt,
-                                        base_ns,
-                                    );
-                                    thread::sleep(Duration::from_nanos(exp + jitter));
-                                }
-                                let _scope = chaos_on.then(|| {
-                                    failpoint::activate(
-                                        Arc::clone(&plan),
-                                        solve_key(batch, key, attempt),
-                                    )
-                                });
-                                let result = catch_unwind(AssertUnwindSafe(|| {
-                                    shards[key.0].instance.solve(eps, radius, cg)
-                                }));
-                                match result {
-                                    Ok(Ok(s)) => {
-                                        solved = Some(CachedSolve {
-                                            mechanism: s.mechanism,
-                                            quality_loss: s.quality_loss,
-                                        });
-                                        break;
-                                    }
-                                    Ok(Err(_)) => {}
-                                    Err(_) => panics += 1,
-                                }
-                            }
-                            let outcome = match solved {
-                                Some(s) => {
-                                    MissOutcome::Solved(s, started.elapsed(), retries, panics)
-                                }
-                                None => MissOutcome::Failed(started.elapsed(), retries, panics),
-                            };
-                            let _ = tx.send((key, outcome));
-                        }
-                    });
-                }
-                drop(tx);
-                let deadline_at = Instant::now() + effective_deadline;
-                if !effective_deadline.is_zero() {
-                    loop {
-                        let now = Instant::now();
-                        if now >= deadline_at {
-                            break;
-                        }
-                        match rx.recv_timeout(deadline_at - now) {
-                            Ok(item) => {
-                                if matches!(item.1, MissOutcome::Solved(..)) {
-                                    in_time.insert(item.0);
-                                }
-                                outcomes.push(item);
-                            }
-                            Err(_) => break, // timeout or all senders done
-                        }
-                    }
-                }
-                // Late solves: not served this batch, but cached for
-                // the next one.
-                for item in rx {
-                    outcomes.push(item);
-                }
-            });
+            obs.incr(metrics::QUEUE_ENQUEUED, to_solve.len() as u64);
+            let (tx, rx) = mpsc::channel();
+            for &(key, eps) in &to_solve {
+                let enqueued = shared.enqueue_batch(key.0, key.1, eps, batch, tx.clone());
+                assert!(enqueued, "serving core is running");
+            }
+            drop(tx);
+            outcomes.extend(rx);
         }
 
-        // Phase C: account outcomes in solve-key order (channel arrival
+        // Phase C: account outcomes in solve-key order (reply arrival
         // order depends on thread timing; breaker and cache state must
         // not), cache everything that solved, then serve.
         outcomes.sort_by_key(|o| o.0);
-        let threshold = self.config.resilience.breaker_threshold;
+        let threshold = shared.config.resilience.breaker_threshold;
+        let mut in_time: HashSet<(usize, u64)> = HashSet::new();
         let mut fresh: HashMap<(usize, u64), CachedSolve> = HashMap::new();
         let mut failed_keys: HashSet<(usize, u64)> = HashSet::new();
         for (key, outcome) in outcomes {
+            let mut t = lock(&shared.shards[key.0].table);
             match outcome {
                 MissOutcome::Solved(solve, elapsed, retries, panics) => {
                     obs.record_duration(metrics::SOLVE_TIME, elapsed);
@@ -1055,15 +916,18 @@ impl MechanismService {
                     if panics > 0 {
                         obs.incr(metrics::PANICS_CAUGHT, u64::from(panics));
                     }
-                    if self.shards[key.0].breaker.on_success() {
+                    if t.breaker.on_success() {
                         obs.incr(metrics::BREAKER_RECLOSED, 1);
                     }
-                    if let Some((evicted_key, evicted)) = self.cache.insert(key, solve.clone()) {
+                    if let Some((evicted_bucket, evicted)) = t.cache.insert(key.1, solve.clone()) {
                         obs.incr(metrics::CACHE_EVICTIONS, 1);
-                        self.demote(evicted_key, evicted, batch);
+                        t.demote(stale_capacity, evicted_bucket, evicted, batch);
                     }
                     // A fresh optimum supersedes any stale copy.
-                    self.stale.remove(&key);
+                    t.stale.remove(&key.1);
+                    if wait_for_solves {
+                        in_time.insert(key);
+                    }
                     fresh.insert(key, solve);
                 }
                 MissOutcome::Failed(elapsed, retries, panics) => {
@@ -1075,14 +939,14 @@ impl MechanismService {
                         obs.incr(metrics::PANICS_CAUGHT, u64::from(panics));
                     }
                     obs.incr(metrics::SOLVE_ERRORS, 1);
-                    if self.shards[key.0].breaker.on_failure(batch, threshold) {
+                    if t.breaker.on_failure(batch, threshold) {
                         obs.incr(metrics::BREAKER_OPENED, 1);
                     }
                     failed_keys.insert(key);
                 }
                 MissOutcome::Blackout => {
                     obs.incr(metrics::SOLVE_ERRORS, 1);
-                    if self.shards[key.0].breaker.on_failure(batch, threshold) {
+                    if t.breaker.on_failure(batch, threshold) {
                         obs.incr(metrics::BREAKER_OPENED, 1);
                     }
                     failed_keys.insert(key);
@@ -1097,40 +961,46 @@ impl MechanismService {
         let mut out = Vec::with_capacity(resolved.len());
         let (mut optimal, mut stale_served, mut fallback) = (0u64, 0u64, 0u64);
         for r in resolved {
-            let instance = &self.shards[r.shard].instance;
+            let instance = shared.shards[r.shard].instance();
             let i = instance
                 .disc
                 .locate(&instance.graph, r.local)
                 .expect("shard-local location lies on the shard");
-            let optimal_entry = if r.was_hit || in_time.contains(&r.key) {
-                // A hit can still have been evicted by this batch's own
-                // inserts; `fresh` keeps same-batch solves reachable.
-                self.cache.get(r.key).or_else(|| fresh.get(&r.key))
-            } else {
-                None
-            };
-            // Stale serving (rung 3) only engages when the key's solve
-            // *failed* or was shed — a plain deadline miss still falls
-            // back, exactly as the fault-free service does.
-            let stale_entry = if optimal_entry.is_none() && failed_keys.contains(&r.key) {
-                self.stale.get(&r.key)
-            } else {
-                None
-            };
-            let (mechanism, served) = match (optimal_entry, stale_entry) {
-                (Some(entry), _) => (&entry.mechanism, Served::Optimal { cached: r.was_hit }),
-                (None, Some((entry, demoted))) => (
-                    &entry.mechanism,
-                    Served::Stale {
-                        age_batches: batch.saturating_sub(*demoted),
+            let (mechanism, served) = {
+                let mut t = lock(&shared.shards[r.shard].table);
+                let optimal_entry = if r.was_hit || in_time.contains(&r.key) {
+                    // A hit can still have been evicted by this batch's
+                    // own inserts; `fresh` keeps same-batch solves
+                    // reachable.
+                    t.cache
+                        .get(r.key.1)
+                        .map(|e| Arc::clone(&e.mechanism))
+                        .or_else(|| fresh.get(&r.key).map(|e| Arc::clone(&e.mechanism)))
+                } else {
+                    None
+                };
+                // Stale serving (rung 3) only engages when the key's
+                // solve *failed* or was shed — a plain "not waited for"
+                // miss still falls back, exactly as the fault-free
+                // service does.
+                match optimal_entry {
+                    Some(m) => (m, Served::Optimal { cached: r.was_hit }),
+                    None => match failed_keys
+                        .contains(&r.key)
+                        .then(|| t.stale.get(&r.key.1))
+                        .flatten()
+                    {
+                        Some((entry, demoted)) => (
+                            Arc::clone(&entry.mechanism),
+                            Served::Stale {
+                                age_batches: batch.saturating_sub(*demoted),
+                            },
+                        ),
+                        None => (
+                            t.fallback_entry(&instance, r.key.1, r.canonical),
+                            Served::Fallback,
+                        ),
                     },
-                ),
-                (None, None) => {
-                    let m = self
-                        .fallbacks
-                        .entry(r.key)
-                        .or_insert_with(|| instance.fallback(r.canonical));
-                    (&*m, Served::Fallback)
                 }
             };
             match served {
@@ -1158,10 +1028,10 @@ impl MechanismService {
 
         // Export the health snapshot: one breaker-state sample per
         // shard per batch.
-        for (s, shard) in self.shards.iter().enumerate() {
+        for (s, shard) in shared.shards.iter().enumerate() {
             obs.push(
                 &metrics::breaker_state_series(s),
-                shard.breaker.state.as_f64(),
+                lock(&shard.table).breaker.state.as_f64(),
             );
         }
         out
@@ -1174,11 +1044,9 @@ impl MechanismService {
     ///
     /// Panics if `s` or `interval` is out of range.
     pub fn publish_task(&mut self, s: usize, interval: usize) -> TaskId {
-        let shard = &mut self.shards[s];
-        assert!(
-            interval < shard.instance.len(),
-            "task interval out of range"
-        );
+        let len = self.shard_instance(s).len();
+        assert!(interval < len, "task interval out of range");
+        let shard = &mut self.tasks[s];
         let id = TaskId(shard.tasks.len());
         shard.tasks.push(Task { id, interval });
         shard.pending.push(id);
@@ -1191,7 +1059,7 @@ impl MechanismService {
     ///
     /// Panics if `s` is out of range.
     pub fn pending_tasks(&self, s: usize) -> &[TaskId] {
-        &self.shards[s].pending
+        &self.tasks[s].pending
     }
 
     /// Runs one assignment snapshot on shard `s` over reports
@@ -1202,9 +1070,10 @@ impl MechanismService {
     ///
     /// Panics if `s` is out of range.
     pub fn snapshot(&mut self, s: usize, reports: &[(WorkerId, usize)]) -> SnapshotOutcome {
-        let shard = &mut self.shards[s];
+        let instance = self.shard_instance(s);
+        let shard = &mut self.tasks[s];
         assign_snapshot(
-            &shard.instance.interval_dists,
+            &instance.interval_dists,
             &shard.tasks,
             &mut shard.pending,
             reports,
@@ -1215,7 +1084,7 @@ impl MechanismService {
     /// assignment snapshots. Returns `(shard, outcome)` for every
     /// shard that received at least one report, in shard order.
     pub fn snapshot_batch(&mut self, reports: &[Obfuscation]) -> Vec<(usize, SnapshotOutcome)> {
-        let mut by_shard: Vec<Vec<(WorkerId, usize)>> = vec![Vec::new(); self.shards.len()];
+        let mut by_shard: Vec<Vec<(WorkerId, usize)>> = vec![Vec::new(); self.shard_count()];
         for r in reports {
             by_shard[r.shard].push((r.worker, r.interval));
         }
@@ -1324,19 +1193,19 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used_entry() {
-        let mut cache = LruCache::new(2);
+        let mut cache = ladder::LruCache::new(2);
         let entry = || CachedSolve {
-            mechanism: Mechanism::uniform(2),
+            mechanism: Arc::new(Mechanism::uniform(2)),
             quality_loss: 0.0,
         };
-        assert!(cache.insert((0, 1), entry()).is_none());
-        assert!(cache.insert((0, 2), entry()).is_none());
-        assert!(cache.get((0, 1)).is_some()); // bump (0, 1)
-        let evicted = cache.insert((0, 3), entry()); // evicts (0, 2)
-        assert_eq!(evicted.map(|(key, _)| key), Some((0, 2)));
-        assert!(cache.contains((0, 1)));
-        assert!(!cache.contains((0, 2)));
-        assert!(cache.contains((0, 3)));
+        assert!(cache.insert(1, entry()).is_none());
+        assert!(cache.insert(2, entry()).is_none());
+        assert!(cache.get(1).is_some()); // bump bucket 1
+        let evicted = cache.insert(3, entry()); // evicts bucket 2
+        assert_eq!(evicted.map(|(bucket, _)| bucket), Some(2));
+        assert!(cache.contains(1));
+        assert!(!cache.contains(2));
+        assert!(cache.contains(3));
     }
 
     #[test]
@@ -1351,10 +1220,10 @@ mod tests {
             let canonical = svc.canonical_epsilon(eps);
             let inst = svc.shard_instance(s);
             let spec = vlp_core::PrivacySpec::full(&inst.aux, canonical, f64::INFINITY);
-            let fallback = svc.fallbacks.get(&(s, 20)).expect("fallback built");
-            assert!(privacy::verify(fallback, &spec, 1e-6));
-            let cached = svc.cache.get((s, 20)).expect("solve cached");
-            assert!(privacy::verify(&cached.mechanism, &spec, 1e-6));
+            let fallback = svc.fallback_mechanism(s, eps).expect("fallback built");
+            assert!(privacy::verify(&fallback, &spec, 1e-6));
+            let cached = svc.cached_mechanism(s, eps).expect("solve cached");
+            assert!(privacy::verify(&cached, &spec, 1e-6));
         }
     }
 
@@ -1368,8 +1237,10 @@ mod tests {
         let k = svc.shard_instance(0).len();
         svc.set_worker_prior(0, Prior::uniform(k));
         assert_eq!(svc.cached_mechanisms(), 1);
-        assert!(!svc.cache.contains((0, 20)));
-        assert!(svc.cache.contains((1, 20)));
+        assert!(svc.cached_mechanism(0, 5.0).is_none());
+        assert!(svc.cached_mechanism(1, 5.0).is_some());
+        // The displaced mechanism was demoted, not dropped.
+        assert!(svc.stale_mechanism(0, 5.0).is_some());
     }
 
     #[test]
@@ -1585,7 +1456,7 @@ mod tests {
                 let inst = svc.shard_instance(s);
                 let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
                 assert!(
-                    privacy::verify(mechanism, &spec, 1e-6),
+                    privacy::verify(&mechanism, &spec, 1e-6),
                     "shard {s} mechanism at ε={eps} must stay ε-Geo-I valid"
                 );
             }
@@ -1605,5 +1476,184 @@ mod tests {
             &mut rng,
         );
         assert!(out.is_empty());
+        let resp = svc.submit(WorkerId(0), Location::new(cross[0], 0.1), 5.0, &mut rng);
+        assert_eq!(
+            resp,
+            Response::OffPartition {
+                worker: WorkerId(0)
+            }
+        );
+    }
+
+    /// The open-loop caller path: a cold submit warms the cache
+    /// through the solve queue and serves the fallback meanwhile;
+    /// after `quiesce`, the same key is a pure cache hit that never
+    /// touches the queue (pinned via the per-shard counters).
+    #[test]
+    fn submit_serves_hits_on_caller_path_without_queueing() {
+        let svc = service(Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let reqs = requests(&svc, 5.0);
+        for &(w, loc, eps) in &reqs {
+            match svc.submit(w, loc, eps, &mut rng) {
+                Response::Served(o) => assert_eq!(o.served, Served::Fallback),
+                other => panic!("cold submit must serve the fallback, got {other:?}"),
+            }
+        }
+        svc.quiesce();
+        // Warm: every submit is a hit; the queue counters stay frozen.
+        let enqueued_before: u64 = svc
+            .core
+            .shared
+            .shards
+            .iter()
+            .map(|sh| lock(&sh.table).stats.enqueued)
+            .sum();
+        for round in 0..50 {
+            for &(w, loc, eps) in &reqs {
+                match svc.submit(w, loc, eps, &mut rng) {
+                    Response::Served(o) => assert_eq!(
+                        o.served,
+                        Served::Optimal { cached: true },
+                        "round {round}: warm submit must hit"
+                    ),
+                    other => panic!("warm submit must serve, got {other:?}"),
+                }
+            }
+        }
+        let enqueued_after: u64 = svc
+            .core
+            .shared
+            .shards
+            .iter()
+            .map(|sh| lock(&sh.table).stats.enqueued)
+            .sum();
+        assert_eq!(
+            enqueued_before, enqueued_after,
+            "a cache-hit-only workload must never enqueue a solve"
+        );
+        // And the warm submits sample the same mechanism the cache
+        // audits expose.
+        for &(_, loc, eps) in &reqs {
+            let (s, _) = svc.partition().to_local(loc).unwrap();
+            assert!(svc.cached_mechanism(s, eps).is_some());
+        }
+    }
+
+    /// Cold keys on a blacked-out shard are rejected outright: shed
+    /// with nothing cached, stale, or prebuilt — explicit backpressure
+    /// instead of blocking or silently queueing.
+    #[test]
+    fn cold_shed_submit_is_rejected_not_blocked() {
+        let g = generators::grid(3, 4, 0.4, true);
+        let chaos = FaultPlan::new(3).with(site::shard_blackout(0), FaultMode::Always);
+        let svc = MechanismService::new(
+            g,
+            ServiceConfig {
+                n_shards: 2,
+                delta: 0.2,
+                resilience: ResilienceConfig {
+                    breaker_threshold: 1,
+                    breaker_cooldown: 100,
+                    ..ResilienceConfig::default()
+                },
+                chaos,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        svc.tick(); // arm the blackout for this epoch
+        let reqs = requests(&svc, 5.0);
+        let (shard0_req, shard1_req) = (&reqs[0], &reqs[1]);
+        // Shard 0 is blacked out and completely cold: rejected.
+        let resp = svc.submit(shard0_req.0, shard0_req.1, shard0_req.2, &mut rng);
+        assert_eq!(
+            resp,
+            Response::Rejected {
+                worker: shard0_req.0,
+                shard: 0,
+                epsilon: 5.0
+            }
+        );
+        // The single blackout failure tripped the threshold-1 breaker.
+        assert_eq!(svc.breaker_state(0), BreakerState::Open);
+        // Shard 1 is healthy and serves (fallback while warming).
+        match svc.submit(shard1_req.0, shard1_req.1, shard1_req.2, &mut rng) {
+            Response::Served(o) => assert_eq!(o.served, Served::Fallback),
+            other => panic!("healthy shard must serve, got {other:?}"),
+        }
+        svc.quiesce();
+    }
+
+    /// Graceful shutdown drains every queued solve: each admitted cold
+    /// key's optimum is in the cache after `shutdown` returns, and the
+    /// core refuses new solves afterwards (cold keys reject, hits
+    /// still serve).
+    #[test]
+    fn shutdown_drains_queues_and_serves_hits_after() {
+        let mut svc = service(Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let reqs = requests(&svc, 5.0);
+        let mut admitted = Vec::new();
+        for (i, &(w, loc, _)) in reqs.iter().enumerate() {
+            // Distinct buckets per shard: ε = 5.0 and 7.5.
+            for eps in [5.0, 7.5] {
+                match svc.submit(WorkerId(w.0 * 10 + i), loc, eps, &mut rng) {
+                    Response::Served(o) => {
+                        assert_eq!(o.served, Served::Fallback);
+                        admitted.push((o.shard, eps));
+                    }
+                    other => panic!("cold submit must be admitted, got {other:?}"),
+                }
+            }
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.drained.len(), svc.shard_count());
+        // Every admitted solve completed and was cached by the drain.
+        for &(s, eps) in &admitted {
+            assert!(
+                svc.cached_mechanism(s, eps).is_some(),
+                "shard {s} ε={eps} must be cached after the drain"
+            );
+        }
+        // Hits still serve; cold keys are rejected (no workers left).
+        let (w, loc, _) = reqs[0];
+        match svc.submit(w, loc, 5.0, &mut rng) {
+            Response::Served(o) => assert_eq!(o.served, Served::Optimal { cached: true }),
+            other => panic!("post-shutdown hit must serve, got {other:?}"),
+        }
+        assert!(matches!(
+            svc.submit(w, loc, 12.25, &mut rng),
+            Response::Rejected { .. }
+        ));
+        // Idempotent.
+        let again = svc.shutdown();
+        assert_eq!(again.total(), 0);
+    }
+
+    /// The batch and open-loop frontends agree: a mechanism cached by
+    /// a batch serves open-loop hits, and vice versa.
+    #[test]
+    fn batch_and_open_loop_share_one_cache() {
+        let mut svc = service(Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let reqs = requests(&svc, 5.0);
+        let _ = svc.obfuscate_batch(&reqs, &mut rng); // warms via batch
+        let (w, loc, eps) = reqs[0];
+        match svc.submit(w, loc, eps, &mut rng) {
+            Response::Served(o) => assert_eq!(o.served, Served::Optimal { cached: true }),
+            other => panic!("open-loop hit on batch-warmed cache, got {other:?}"),
+        }
+        // Open-loop warming serves the next *batch* too.
+        let handle = svc.handle();
+        for &(w, loc, _) in &reqs {
+            let _ = handle.submit(w, loc, 7.5, &mut rng);
+        }
+        handle.quiesce();
+        let reqs_75: Vec<_> = reqs.iter().map(|&(w, l, _)| (w, l, 7.5)).collect();
+        let out = svc.obfuscate_batch(&reqs_75, &mut rng);
+        assert!(out
+            .iter()
+            .all(|o| o.served == Served::Optimal { cached: true }));
     }
 }

@@ -122,7 +122,7 @@ proptest! {
                 let inst = svc.shard_instance(s);
                 let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
                 prop_assert!(
-                    privacy::verify(mechanism, &spec, 1e-6),
+                    privacy::verify(&mechanism, &spec, 1e-6),
                     "batch {}: shard {} mechanism at ε={} violates Geo-I", batch, s, eps
                 );
             }

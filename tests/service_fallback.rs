@@ -66,7 +66,7 @@ fn zero_deadline_cold_batch_is_all_fallback_and_geo_indistinguishable() {
             .fallback_mechanism(o.shard, o.epsilon)
             .expect("fallback was built for this key");
         assert!(
-            privacy::verify(mech, &spec, 1e-6),
+            privacy::verify(&mech, &spec, 1e-6),
             "fallback for shard {} at ε={} violates Geo-I",
             o.shard,
             o.epsilon
@@ -100,12 +100,12 @@ fn warm_batch_serves_cached_optima_bit_identical_to_cold_solves() {
             .cached_mechanism(o.shard, o.epsilon)
             .expect("warm batch implies a cached mechanism");
         assert_eq!(
-            cached, &cold.mechanism,
+            *cached, cold.mechanism,
             "cached mechanism for shard {} at ε={} differs from a cold solve",
             o.shard, o.epsilon
         );
         let spec = PrivacySpec::full(&inst.aux, o.epsilon, f64::INFINITY);
-        assert!(privacy::verify(cached, &spec, 1e-6));
+        assert!(privacy::verify(&cached, &spec, 1e-6));
     }
 }
 

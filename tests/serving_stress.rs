@@ -1,0 +1,153 @@
+//! Concurrency stress test for the always-on serving core, written to
+//! run under ThreadSanitizer (the CI `tsan` job): several submitter
+//! threads hammer the open-loop path through [`platform::ServiceHandle`]
+//! while a ticker advances the logical clock, a deterministic fault
+//! plan injects solver failures and a shard blackout, and the service
+//! is shut down mid-flight. The test asserts liveness (every
+//! submission returns a response), the admission contract (responses
+//! are served or explicitly rejected — never lost), and the privacy
+//! floor (every mechanism the service still holds passes the full-spec
+//! Geo-I audit). Its real job, though, is giving TSan interleavings to
+//! chew on: any data race in the routing table, queues, or shutdown
+//! path fails the job.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use platform::{MechanismService, ResilienceConfig, Response, ServiceConfig, WorkerId};
+use rand::SeedableRng;
+use roadnet::{generators, EdgeId, Location};
+use vlp_core::privacy;
+use vlp_obs::failpoint::{site, FaultMode, FaultPlan};
+
+/// Submitter threads running concurrently.
+const SUBMITTERS: usize = 4;
+
+/// Submissions per thread. Kept modest: TSan runs 5–15× slower than
+/// native, and the interleavings matter more than the volume.
+const PER_THREAD: usize = 120;
+
+#[test]
+fn concurrent_submitters_faults_and_shutdown_race_cleanly() {
+    let chaos = FaultPlan::new(42)
+        .with(site::LP_SOLVE, FaultMode::Ratio(0.3))
+        .with(site::LP_RESOLVE, FaultMode::Ratio(0.2))
+        .with(
+            site::shard_blackout(1),
+            FaultMode::Window { from: 2, to: 4 },
+        );
+    let mut svc = MechanismService::new(
+        generators::grid(3, 4, 0.4, true),
+        ServiceConfig {
+            n_shards: 2,
+            delta: 0.2,
+            queue_capacity: 4,
+            solver_threads: 2,
+            solve_deadline: Duration::ZERO,
+            resilience: ResilienceConfig {
+                breaker_threshold: 2,
+                breaker_cooldown: 1,
+                backoff_base: Duration::from_micros(100),
+                backoff_cap: Duration::from_millis(1),
+                ..ResilienceConfig::default()
+            },
+            chaos,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // One request location per shard.
+    let g = generators::grid(3, 4, 0.4, true);
+    let mut locs: Vec<Option<Location>> = vec![None; svc.shard_count()];
+    for e in 0..g.edge_count() {
+        let loc = Location::new(EdgeId(e), 0.1);
+        if let Some((s, _)) = svc.partition().to_local(loc) {
+            locs[s].get_or_insert(loc);
+        }
+    }
+    let locs: Vec<Location> = locs
+        .into_iter()
+        .enumerate()
+        .map(|(s, l)| l.unwrap_or_else(|| panic!("no location for shard {s}")))
+        .collect();
+    let epsilons = [2.0, 5.0, 10.0];
+
+    let handle = svc.handle();
+    let served = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let off_partition = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..SUBMITTERS {
+            let handle = handle.clone();
+            let locs = locs.clone();
+            let served = Arc::clone(&served);
+            let rejected = Arc::clone(&rejected);
+            let off_partition = Arc::clone(&off_partition);
+            scope.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE ^ t as u64);
+                for i in 0..PER_THREAD {
+                    let loc = locs[(t + i) % locs.len()];
+                    let eps = epsilons[(t * 7 + i) % epsilons.len()];
+                    match handle.submit(WorkerId(t * PER_THREAD + i), loc, eps, &mut rng) {
+                        Response::Served(o) => {
+                            assert!(o.epsilon <= eps + 1e-12, "never less private than asked");
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::Rejected { .. } => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::OffPartition { .. } => {
+                            off_partition.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if i % 16 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+
+        // Ticker: advance the logical epoch (breaker cooldowns, fault
+        // windows, metric flushes) while submitters run.
+        let ticker = handle.clone();
+        scope.spawn(move || {
+            for _ in 0..8 {
+                std::thread::sleep(Duration::from_millis(2));
+                ticker.tick();
+            }
+        });
+
+        // Shut down mid-flight: the drain must race cleanly against
+        // live submitters, which keep getting served from cache (or
+        // explicitly rejected when cold) through the retired handle.
+        std::thread::sleep(Duration::from_millis(5));
+        svc.shutdown();
+    });
+
+    let served = served.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+    let off_partition = off_partition.load(Ordering::Relaxed);
+    assert_eq!(off_partition, 0, "workload locations are all on-partition");
+    assert_eq!(
+        served + rejected,
+        (SUBMITTERS * PER_THREAD) as u64,
+        "every submission returns exactly one response"
+    );
+    assert!(served > 0, "the workload cannot be rejected wholesale");
+
+    // The privacy floor survives every interleaving: whatever rung a
+    // mechanism sits on after the dust settles, it satisfies the full
+    // (unreduced) Geo-I constraint set at its canonical ε.
+    let live = svc.live_mechanisms();
+    assert!(!live.is_empty(), "the run must leave servable mechanisms");
+    for (s, canonical, mech) in live {
+        let inst = svc.shard_instance(s);
+        let spec = vlp_core::PrivacySpec::full(&inst.aux, canonical, f64::INFINITY);
+        assert!(
+            privacy::verify(&mech, &spec, 1e-6),
+            "live mechanism for shard {s} at ε={canonical} violates Geo-I"
+        );
+    }
+}
