@@ -25,12 +25,21 @@
 //!   service with no chaos configured at all: the ladder is inert
 //!   unless faults are injected.
 //!
-//! Flags: `--out <path>` (default `artifacts/bench_chaos.json`).
+//! Flags: `--out <path>` (default `artifacts/bench_chaos.json`, or
+//! `artifacts/bench_chaos_local.json` under `--local`) and `--local`,
+//! which re-runs the committed schedule with the locally-relevant
+//! solve mode enabled (`rho` = [`LOCAL_RHO`], protection radius
+//! [`LOCAL_RADIUS`]): the same resilience gates must hold when every
+//! solve is a restricted `O(k²)` LP and mechanisms are audited against
+//! their neighborhoods' restricted Geo-I specs.
 
 use std::time::{Duration, Instant};
 
-use platform::{service, BreakerState, MechanismService, Served, ServiceConfig, WorkerId};
-use roadnet::{generators, EdgeId, Location};
+use platform::{
+    service, BreakerState, LocalConfig, MechanismService, Served, ServiceConfig, WorkerId,
+};
+use roadnet::{generators, Location};
+use vlp_bench::scenarios::fleet_locations;
 use vlp_core::privacy;
 use vlp_obs::failpoint::FaultPlan;
 
@@ -63,42 +72,27 @@ const RECOVERY_BUDGET_BATCHES: u64 = 6;
 /// Seed of the fault plan (selects which ratio-mode keys fault).
 const CHAOS_SEED: u64 = 0xC4A05;
 
+/// Assignment radius ρ used under `--local`, km.
+const LOCAL_RHO: f64 = 0.4;
+
+/// Geo-I protection radius used under `--local`, km (the locally-
+/// relevant mode needs a finite radius to bound its support balls).
+const LOCAL_RADIUS: f64 = 0.5;
+
 /// The committed failure schedule.
 const SCHEDULE: &str = "lp.solve.fault=ratio:0.3; lp.resolve.fault=ratio:0.3; \
      cg.pricing.panic=ratio:0.15; service.shard.blackout.1=window:6..12; \
      service.cache.evict_storm=every:6; service.deadline.jitter=every:9";
 
-/// One on-map request location per (shard, slot) pair, round-robin, so
-/// every batch touches every shard (same shape as `bench_service`).
-fn fleet_locations(svc: &MechanismService, graph_edges: usize, per_shard: usize) -> Vec<Location> {
-    let mut by_shard: Vec<Vec<Location>> = vec![Vec::new(); svc.shard_count()];
-    for e in 0..graph_edges {
-        let loc = Location::new(EdgeId(e), 0.05);
-        if let Some((s, _)) = svc.partition().to_local(loc) {
-            if by_shard[s].len() < per_shard {
-                by_shard[s].push(loc);
-            }
-        }
-    }
-    for (s, locs) in by_shard.iter().enumerate() {
-        assert!(!locs.is_empty(), "no request location found for shard {s}");
-    }
-    let mut out = Vec::new();
-    for slot in 0..per_shard {
-        for locs in &by_shard {
-            out.push(locs[slot % locs.len()]);
-        }
-    }
-    out
-}
-
-fn service_config(chaos: FaultPlan) -> ServiceConfig {
+fn service_config(chaos: FaultPlan, local: bool) -> ServiceConfig {
     ServiceConfig {
         n_shards: N_SHARDS,
         delta: 0.2,
         // Generous deadline: in calm batches cache misses are solved
         // and served optimally; only injected jitter collapses it.
         solve_deadline: Duration::from_secs(60),
+        radius: if local { LOCAL_RADIUS } else { f64::INFINITY },
+        local: local.then_some(LocalConfig { rho: LOCAL_RHO }),
         chaos,
         ..ServiceConfig::default()
     }
@@ -117,17 +111,26 @@ fn requests(locations: &[Location]) -> Vec<(WorkerId, Location, f64)> {
 }
 
 fn main() {
-    let mut out = String::from("artifacts/bench_chaos.json");
+    let mut out: Option<String> = None;
+    let mut local = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--out" => out = argv.next().expect("--out needs a path"),
+            "--out" => out = Some(argv.next().expect("--out needs a path")),
+            "--local" => local = true,
             other => {
-                eprintln!("unknown flag `{other}` (expected --out <path>)");
+                eprintln!("unknown flag `{other}` (expected --out <path> or --local)");
                 std::process::exit(2);
             }
         }
     }
+    let out = out.unwrap_or_else(|| {
+        if local {
+            String::from("artifacts/bench_chaos_local.json")
+        } else {
+            String::from("artifacts/bench_chaos.json")
+        }
+    });
 
     // Injected pricing panics are expected and contained; keep their
     // default panic report off the console so real panics stand out.
@@ -153,9 +156,12 @@ fn main() {
     // indistinguishable from no chaos configuration at all, batch for
     // batch, bit for bit — the ladder is inert without faults.
     {
-        let mut plain = MechanismService::new(graph.clone(), service_config(FaultPlan::default()));
-        let mut armed =
-            MechanismService::new(graph.clone(), service_config(FaultPlan::new(CHAOS_SEED)));
+        let mut plain =
+            MechanismService::new(graph.clone(), service_config(FaultPlan::default(), local));
+        let mut armed = MechanismService::new(
+            graph.clone(),
+            service_config(FaultPlan::new(CHAOS_SEED), local),
+        );
         let locations = fleet_locations(&plain, n_edges, FLEET.div_ceil(N_SHARDS));
         let reqs = requests(&locations);
         let mut rng_a = rand::rngs::StdRng::seed_from_u64(20_260_807);
@@ -173,10 +179,14 @@ fn main() {
 
     // Chaos phase: the committed schedule, telemetry from a clean slate.
     obs.reset();
-    obs.set_run_id("bench-chaos-v1");
+    obs.set_run_id(if local {
+        "bench-chaos-local-v1"
+    } else {
+        "bench-chaos-v1"
+    });
     let total = Instant::now();
     let chaos = FaultPlan::parse(SCHEDULE, CHAOS_SEED).expect("committed schedule parses");
-    let mut svc = MechanismService::new(graph, service_config(chaos));
+    let mut svc = MechanismService::new(graph, service_config(chaos, local));
     let locations = fleet_locations(&svc, n_edges, FLEET.div_ceil(N_SHARDS));
     let reqs = requests(&locations);
     let mut rng = rand::rngs::StdRng::seed_from_u64(20_260_807);
@@ -200,16 +210,32 @@ fn main() {
             }
         }
         // The privacy gate: everything the service can serve from —
-        // cached optima, stale entries, fallbacks — satisfies the full
-        // Geo-I constraint set at its canonical ε, even mid-outage.
-        for (s, eps, mechanism) in svc.live_mechanisms() {
-            let inst = svc.shard_instance(s);
-            let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
-            assert!(
-                privacy::verify(&mechanism, &spec, 1e-6),
-                "batch {batch}: shard {s} mechanism at ε={eps} violates Geo-I"
-            );
-            audited += 1;
+        // cached optima, stale entries, fallbacks — satisfies its Geo-I
+        // constraint set at its canonical ε, even mid-outage. In full
+        // mode that is the whole-shard spec; in locally-relevant mode,
+        // each neighborhood's unreduced restricted spec (full-graph
+        // d_min exponents over the neighborhood support).
+        if local {
+            for (s, nb, eps, mechanism) in svc.live_mechanisms_keyed() {
+                let shard = svc.local_shard(s).expect("service runs in local mode");
+                let spec = shard.audit_spec(nb, eps);
+                assert!(
+                    privacy::verify(&mechanism, &spec, 1e-6),
+                    "batch {batch}: shard {s} neighborhood {nb} mechanism at ε={eps} \
+                     violates its restricted Geo-I spec"
+                );
+                audited += 1;
+            }
+        } else {
+            for (s, eps, mechanism) in svc.live_mechanisms() {
+                let inst = svc.shard_instance(s);
+                let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
+                assert!(
+                    privacy::verify(&mechanism, &spec, 1e-6),
+                    "batch {batch}: shard {s} mechanism at ε={eps} violates Geo-I"
+                );
+                audited += 1;
+            }
         }
     }
     let elapsed = total.elapsed();
@@ -258,6 +284,12 @@ fn main() {
         obs.counter(service::metrics::BREAKER_SHED) > 0,
         "the open breaker must shed solves"
     );
+    if local {
+        assert!(
+            obs.counter(service::metrics::LOCAL_SOLVES) > 0,
+            "--local run must record locally-relevant solves"
+        );
+    }
 
     let denom = (served_optimal + served_stale + served_fallback) as f64;
     obs.push("bench_chaos.optimal_share", served_optimal as f64 / denom);
@@ -281,10 +313,15 @@ fn main() {
     doc.push('\n');
     std::fs::write(&out, doc).expect("write artifact");
 
+    let mode = if local {
+        "locally-relevant"
+    } else {
+        "full-shard"
+    };
     println!(
-        "bench_chaos: OK — {requests_total} requests over {BATCHES} batches under `{SCHEDULE}`; \
-         served {served_optimal} optimal / {served_stale} stale / {served_fallback} fallback, \
-         {audited} mechanism audits all ε-valid, breaker re-closed {recovery} batch(es) after \
-         the blackout → {out}",
+        "bench_chaos: OK ({mode}) — {requests_total} requests over {BATCHES} batches under \
+         `{SCHEDULE}`; served {served_optimal} optimal / {served_stale} stale / \
+         {served_fallback} fallback, {audited} mechanism audits all ε-valid, breaker re-closed \
+         {recovery} batch(es) after the blackout → {out}",
     );
 }

@@ -42,8 +42,9 @@ use std::time::{Duration, Instant};
 
 use platform::{service, MechanismService, Response, Served, ServiceConfig, WorkerId};
 use rand::{RngExt, SeedableRng};
-use roadnet::{generators, EdgeId, Location};
+use roadnet::{generators, Location};
 use serde_json::Value;
+use vlp_bench::scenarios::{pace_until, percentile, shard_locations, zipf_cdf, zipf_rank};
 use vlp_core::privacy;
 
 /// Seed shared by every stochastic component of the scenario.
@@ -71,49 +72,6 @@ const ZIPF_EXPONENT: f64 = 1.1;
 /// against a deep queue, then hits only), so any rejection means the
 /// admission path regressed.
 const SHED_BUDGET: u64 = 0;
-
-/// One on-map request location per (shard, slot), `per_shard` slots.
-fn shard_locations(
-    svc: &MechanismService,
-    graph_edges: usize,
-    per_shard: usize,
-) -> Vec<Vec<Location>> {
-    let mut by_shard: Vec<Vec<Location>> = vec![Vec::new(); svc.shard_count()];
-    for e in 0..graph_edges {
-        let loc = Location::new(EdgeId(e), 0.05);
-        if let Some((s, _)) = svc.partition().to_local(loc) {
-            if by_shard[s].len() < per_shard {
-                by_shard[s].push(loc);
-            }
-        }
-    }
-    for (s, locs) in by_shard.iter().enumerate() {
-        assert!(!locs.is_empty(), "no request location found for shard {s}");
-    }
-    by_shard
-}
-
-/// The Zipf cumulative distribution over `n` ranks: entry `r` is the
-/// probability of drawing a rank `≤ r`.
-fn zipf_cdf(n: usize) -> Vec<f64> {
-    let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-ZIPF_EXPONENT)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut acc = 0.0;
-    weights
-        .iter()
-        .map(|w| {
-            acc += w / total;
-            acc
-        })
-        .collect()
-}
-
-/// Latency percentile by nearest-rank over a sorted sample.
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    assert!(!sorted.is_empty(), "no latency samples");
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
 
 /// Runs the two-phase load scenario against a freshly reset global
 /// registry and returns the resulting telemetry snapshot.
@@ -178,7 +136,7 @@ fn run_load(rate: f64, requests: usize) -> Value {
         let j = rng.random_range(0..=i);
         archetypes.swap(i, j);
     }
-    let cdf = zipf_cdf(archetypes.len());
+    let cdf = zipf_cdf(archetypes.len(), ZIPF_EXPONENT);
 
     // Phase 2 — the measured open-loop phase. Request `i` is due at
     // `start + i/rate`; the generator spins until the schedule says go
@@ -191,21 +149,9 @@ fn run_load(rate: f64, requests: usize) -> Value {
     let start = Instant::now();
     for i in 0..requests {
         let due = start + interval.mul_f64(i as f64);
-        loop {
-            let now = Instant::now();
-            if now >= due {
-                break;
-            }
-            let ahead = due - now;
-            if ahead > Duration::from_micros(200) {
-                std::thread::sleep(ahead - Duration::from_micros(100));
-            } else {
-                std::hint::spin_loop();
-            }
-        }
+        pace_until(due);
         let u: f64 = rng.random();
-        let rank = cdf.partition_point(|&c| c < u).min(archetypes.len() - 1);
-        let (loc, eps) = archetypes[rank];
+        let (loc, eps) = archetypes[zipf_rank(&cdf, u)];
         match svc.submit(WorkerId(i), loc, eps, &mut rng) {
             Response::Served(o) => match o.served {
                 Served::Optimal { .. } => served_hits += 1,

@@ -22,7 +22,8 @@
 use std::time::{Duration, Instant};
 
 use platform::{service, MechanismService, Served, ServiceConfig, WorkerId};
-use roadnet::{generators, EdgeId, Location};
+use roadnet::{generators, Location};
+use vlp_bench::scenarios::fleet_locations;
 use vlp_core::privacy;
 
 /// Popular privacy budgets the fleet rotates through (per km).
@@ -33,30 +34,6 @@ const N_SHARDS: usize = 4;
 
 /// Minimum acceptable cache hit rate on the repeated-ε workload.
 const HIT_RATE_FLOOR: f64 = 0.90;
-
-/// One on-map request location per (shard, slot) pair, round-robin.
-fn fleet_locations(svc: &MechanismService, graph_edges: usize, per_shard: usize) -> Vec<Location> {
-    let mut by_shard: Vec<Vec<Location>> = vec![Vec::new(); svc.shard_count()];
-    for e in 0..graph_edges {
-        let loc = Location::new(EdgeId(e), 0.05);
-        if let Some((s, _)) = svc.partition().to_local(loc) {
-            if by_shard[s].len() < per_shard {
-                by_shard[s].push(loc);
-            }
-        }
-    }
-    for (s, locs) in by_shard.iter().enumerate() {
-        assert!(!locs.is_empty(), "no request location found for shard {s}");
-    }
-    // Interleave shards so every batch touches every shard.
-    let mut out = Vec::new();
-    for slot in 0..per_shard {
-        for locs in &by_shard {
-            out.push(locs[slot % locs.len()]);
-        }
-    }
-    out
-}
 
 fn main() {
     let mut out = String::from("artifacts/bench_service.json");

@@ -1,8 +1,11 @@
 //! Shared scenario builders: maps, fleets, instances, and metrics.
 
+use std::time::{Duration, Instant};
+
 use adversary::bayes;
 use mobility::{estimate_prior, generate_fleet, TraceConfig, VehicleTrace};
-use roadnet::{generators, RoadGraph};
+use platform::MechanismService;
+use roadnet::{generators, EdgeId, Location, RoadGraph};
 use vlp_core::baseline::two_d;
 use vlp_core::{CgDiagnostics, CgOptions, Discretization, Mechanism, Prior, VlpInstance};
 
@@ -153,6 +156,113 @@ pub fn spread_tasks(k: usize, n: usize) -> Vec<usize> {
     (0..n).map(|t| t * k / n).collect()
 }
 
+// ---------------------------------------------------------------------
+// Serving-workload helpers shared by the service bench binaries
+// (`bench_service`, `bench_load`, `bench_chaos`, `bench_local`). These
+// were once copy-pasted per binary; the committed bench artifacts pin
+// their exact behavior, so changes here are changes to every gate.
+
+/// One on-map request location per `(shard, slot)`: up to `per_shard`
+/// slots for each of the service's region shards, filled by scanning
+/// edge ids in order and probing 5% along each edge.
+///
+/// # Panics
+///
+/// Panics if any shard ends up with no request location (a map too
+/// small for the shard count).
+pub fn shard_locations(
+    svc: &MechanismService,
+    graph_edges: usize,
+    per_shard: usize,
+) -> Vec<Vec<Location>> {
+    let mut by_shard: Vec<Vec<Location>> = vec![Vec::new(); svc.shard_count()];
+    for e in 0..graph_edges {
+        let loc = Location::new(EdgeId(e), 0.05);
+        if let Some((s, _)) = svc.partition().to_local(loc) {
+            if by_shard[s].len() < per_shard {
+                by_shard[s].push(loc);
+            }
+        }
+    }
+    for (s, locs) in by_shard.iter().enumerate() {
+        assert!(!locs.is_empty(), "no request location found for shard {s}");
+    }
+    by_shard
+}
+
+/// Round-robin interleaving of [`shard_locations`] so consecutive
+/// requests rotate across shards — the canonical fleet shape of
+/// `bench_service` and `bench_chaos`, where every batch must touch
+/// every shard.
+pub fn fleet_locations(
+    svc: &MechanismService,
+    graph_edges: usize,
+    per_shard: usize,
+) -> Vec<Location> {
+    let by_shard = shard_locations(svc, graph_edges, per_shard);
+    let mut out = Vec::new();
+    for slot in 0..per_shard {
+        for locs in &by_shard {
+            out.push(locs[slot % locs.len()]);
+        }
+    }
+    out
+}
+
+/// The Zipf cumulative distribution over `n` ranks with popularity
+/// exponent `exponent`: entry `r` is the probability of drawing a rank
+/// `≤ r`.
+pub fn zipf_cdf(n: usize, exponent: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// Maps one uniform draw `u ∈ [0, 1)` to its Zipf rank through the CDF
+/// (inverse-transform sampling; clamped so `u = 1.0` stays in range).
+pub fn zipf_rank(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// Latency percentile by nearest-rank over a sorted sample.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty(), "no latency samples");
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Open-loop arrival pacing: blocks until `due`, sleeping while far
+/// ahead of schedule and spinning the final stretch so arrival jitter
+/// stays in the low microseconds. Callers measure latency from `due`,
+/// not from the return of this function, so a slow service inflates
+/// the recorded tail instead of silently slowing the generator down
+/// (no coordinated omission).
+pub fn pace_until(due: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= due {
+            return;
+        }
+        let ahead = due - now;
+        if ahead > Duration::from_micros(200) {
+            std::thread::sleep(ahead - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +287,62 @@ mod tests {
         u.dedup();
         assert_eq!(u.len(), 7);
         assert!(t.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let cdf = zipf_cdf(96, 1.1);
+        assert_eq!(cdf.len(), 96);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((cdf[95] - 1.0).abs() < 1e-12);
+        // Heavier head than uniform: rank 0 alone beats 1/96.
+        assert!(cdf[0] > 1.0 / 96.0);
+    }
+
+    /// Pins the same-seed rank sequence the open-loop generators draw:
+    /// any change to the CDF construction, the inverse-transform
+    /// mapping, or the RNG stream shows up here before it silently
+    /// shifts a committed bench artifact.
+    #[test]
+    fn zipf_same_seed_rank_sequence_is_pinned() {
+        use rand::{RngExt, SeedableRng};
+        let cdf = zipf_cdf(96, 1.1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20_260_807);
+        let ranks: Vec<usize> = (0..12)
+            .map(|_| {
+                let u: f64 = rng.random();
+                zipf_rank(&cdf, u)
+            })
+            .collect();
+        assert_eq!(ranks, vec![8, 7, 1, 0, 1, 13, 55, 1, 21, 70, 46, 3]);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=10).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&sorted, 0.0), Duration::from_micros(1));
+        assert_eq!(percentile(&sorted, 0.50), Duration::from_micros(6));
+        assert_eq!(percentile(&sorted, 1.0), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn fleet_locations_interleave_all_shards() {
+        let g = generators::grid(3, 4, 0.4, true);
+        let n_edges = g.edge_count();
+        let svc = MechanismService::new(g, platform::ServiceConfig::default());
+        let shards = svc.shard_count();
+        let fleet = fleet_locations(&svc, n_edges, 3);
+        assert_eq!(fleet.len(), 3 * shards);
+        // Each consecutive window of `shards` requests covers every shard.
+        for window in fleet.chunks(shards) {
+            let mut seen: Vec<usize> = window
+                .iter()
+                .map(|&loc| svc.partition().to_local(loc).unwrap().0)
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), shards);
+        }
     }
 
     #[test]

@@ -34,6 +34,54 @@ pub struct AuxiliaryGraph {
     dists: NodeDistances,
 }
 
+/// Builds the auxiliary graph `G'` itself, *without* its all-pairs
+/// distance matrix — the `O(K)` construction shared by the dense
+/// [`AuxiliaryGraph`] and the locally-relevant solver, which replaces
+/// the `O(K²)` matrix with radius-bounded Dijkstra balls.
+///
+/// # Panics
+///
+/// Panics if the discretization does not belong to `graph` (interval
+/// edge ids out of range).
+pub fn aux_road_graph(graph: &RoadGraph, disc: &Discretization) -> RoadGraph {
+    let mut b = RoadGraphBuilder::new();
+    for u in disc.intervals() {
+        let (x, y) = u.midpoint().point(graph);
+        b.add_node(x, y);
+    }
+    // Edge weight into interval `l`: d_G(u_i^e, u_l^e) = |u_l|
+    // (see the module notes). Clipped intervals can be arbitrarily
+    // short; clamp to a metre so the graph stays valid.
+    let weight_into = |l: usize| disc.interval(l).length().max(1e-3);
+    for e in graph.edges() {
+        let range = disc.intervals_on_edge(e.id());
+        // Consecutive intervals along the edge.
+        for k in range.clone().take(range.len().saturating_sub(1)) {
+            b.add_edge(
+                roadnet::NodeId(k),
+                roadnet::NodeId(k + 1),
+                weight_into(k + 1),
+            )
+            .expect("consecutive interval edge");
+        }
+        // Last interval of `e` connects to the first interval of
+        // every successor edge.
+        let last = range.end - 1;
+        for &succ in graph.out_edges(e.end()) {
+            let succ_first = disc.intervals_on_edge(succ).start;
+            if succ_first != last {
+                b.add_edge(
+                    roadnet::NodeId(last),
+                    roadnet::NodeId(succ_first),
+                    weight_into(succ_first),
+                )
+                .expect("cross-connection interval edge");
+            }
+        }
+    }
+    b.build().expect("auxiliary graph is non-empty")
+}
+
 impl AuxiliaryGraph {
     /// Builds `G'` for the given discretized road network.
     ///
@@ -42,42 +90,7 @@ impl AuxiliaryGraph {
     /// Panics if the discretization does not belong to `graph` (interval
     /// edge ids out of range).
     pub fn build(graph: &RoadGraph, disc: &Discretization) -> Self {
-        let mut b = RoadGraphBuilder::new();
-        for u in disc.intervals() {
-            let (x, y) = u.midpoint().point(graph);
-            b.add_node(x, y);
-        }
-        // Edge weight into interval `l`: d_G(u_i^e, u_l^e) = |u_l|
-        // (see the module notes). Clipped intervals can be arbitrarily
-        // short; clamp to a metre so the graph stays valid.
-        let weight_into = |l: usize| disc.interval(l).length().max(1e-3);
-        for e in graph.edges() {
-            let range = disc.intervals_on_edge(e.id());
-            // Consecutive intervals along the edge.
-            for k in range.clone().take(range.len().saturating_sub(1)) {
-                b.add_edge(
-                    roadnet::NodeId(k),
-                    roadnet::NodeId(k + 1),
-                    weight_into(k + 1),
-                )
-                .expect("consecutive interval edge");
-            }
-            // Last interval of `e` connects to the first interval of
-            // every successor edge.
-            let last = range.end - 1;
-            for &succ in graph.out_edges(e.end()) {
-                let succ_first = disc.intervals_on_edge(succ).start;
-                if succ_first != last {
-                    b.add_edge(
-                        roadnet::NodeId(last),
-                        roadnet::NodeId(succ_first),
-                        weight_into(succ_first),
-                    )
-                    .expect("cross-connection interval edge");
-                }
-            }
-        }
-        let aux = b.build().expect("auxiliary graph is non-empty");
+        let aux = aux_road_graph(graph, disc);
         let dists = NodeDistances::all_pairs(&aux);
         Self { graph: aux, dists }
     }

@@ -71,14 +71,16 @@ mod discretize;
 pub mod dvlp;
 mod error;
 mod instance;
+pub mod local;
 mod mechanism;
 pub mod privacy;
 
-pub use auxiliary::AuxiliaryGraph;
+pub use auxiliary::{aux_road_graph, AuxiliaryGraph};
 pub use column_generation::{solve_column_generation, CgDiagnostics, CgOptions};
 pub use cost::{CostMatrix, IntervalDistances, Prior};
 pub use discretize::{Discretization, Interval};
 pub use error::VlpError;
 pub use instance::{SolvedVlp, VlpInstance};
+pub use local::{LocalShard, LocalSolve, LocalityPlan, Neighborhood};
 pub use mechanism::Mechanism;
 pub use privacy::{PrivacyConstraint, PrivacySpec};

@@ -1,0 +1,892 @@
+//! Locally-relevant D-VLP: restrict the mechanism support to a
+//! neighborhood of the reporting vehicle so solve cost is `O(k²)` in
+//! the neighborhood size `k`, independent of the map size `K`.
+//!
+//! Following "Time-Efficient Locally Relevant Geo-Location Privacy
+//! Protection" (Qiu et al.), a vehicle's useful obfuscation range is a
+//! small ball around it — reporting an interval across town destroys
+//! utility without buying privacy that the protection radius `r`
+//! demands. This module therefore solves D-VLP over only the intervals
+//! near the vehicle, with a correctness argument that the restriction
+//! never weakens `(ε, r)`-Geo-I *within a neighborhood*:
+//!
+//! # The locality argument
+//!
+//! Work in the metric closure `d̂` of the bidirectional interval
+//! distance `d_min` — the undirected shortest-path metric on the
+//! auxiliary graph ([`roadnet::BallMetric::Undirected`]), which is
+//! symmetric, satisfies the triangle inequality, and has
+//! `d̂ ≤ d_min` pointwise.
+//!
+//! * A [`LocalityPlan`] covers the `K` intervals with a deterministic
+//!   greedy ρ-net: canonical centers `c` such that every interval lies
+//!   within `d̂ ≤ ρ` of its assigned (nearest) center.
+//! * The neighborhood of center `c` is the ball `B(c, ρ + r)` in `d̂`.
+//! * For a vehicle at interval `i` assigned to `c` and any interval
+//!   `l` with `d_min(i, l) ≤ r`:
+//!   `d̂(c, l) ≤ d̂(c, i) + d̂(i, l) ≤ ρ + d_min(i, l) ≤ ρ + r`,
+//!   so **every `r`-close counterpart of every assigned vehicle is in
+//!   the support**. The restricted constraint set — one constraint per
+//!   ordered in-support pair within `d_min ≤ r`, with the *full-graph*
+//!   `d_min` in the exponent — therefore contains every `(ε, r)`-Geo-I
+//!   constraint among vehicles served by the same neighborhood, and
+//!   [`crate::privacy::verify`] audits the solved mechanism against
+//!   exactly that unreduced spec ([`VlpInstance::local_spec`] /
+//!   [`LocalShard::audit_spec`]).
+//!
+//! Two caveats, both deliberate:
+//!
+//! * **Constraint reduction is disabled on restricted supports.** The
+//!   paper's Algorithm 1 is only sound when shortest paths stay inside
+//!   the vertex set; on an induced neighborhood a reduced chain can
+//!   detour outside and silently *loosen* privacy. Local solves use
+//!   the unreduced restricted spec — `O(k²)` pairs, which for
+//!   `k ≪ K` is still far smaller than the reduced `O(M)` full-shard
+//!   set.
+//! * **The guarantee is per neighborhood**, exactly as the existing
+//!   sharded service's guarantee is per region shard: two nearby
+//!   vehicles assigned to *different* neighborhoods draw from
+//!   different supports, so the neighborhood id itself leaks ρ-granular
+//!   location, just as the shard id leaks band-granular location
+//!   today. Choosing ρ comparable to the shard band width keeps the
+//!   two disclosures of the same order. See ARCHITECTURE.md
+//!   ("Locally-relevant solving") for the full discussion.
+//!
+//! Two solve engines share this module:
+//!
+//! * [`VlpInstance::solve_local`] — for instances that already carry
+//!   dense all-pairs matrices; used by tests and as the bit-identity
+//!   baseline. With full support it *delegates verbatim* to
+//!   [`VlpInstance::solve`], making "radius ∞ ≡ full-shard solve" true
+//!   by construction.
+//! * [`LocalShard`] — the sparse engine the serving layer boots on
+//!   large maps: it never materializes an `O(K²)` matrix, computing
+//!   per-neighborhood costs and constraints with radius-bounded and
+//!   target-terminated Dijkstra runs whose settled distances are
+//!   bit-identical prefixes of the dense builds.
+
+use std::sync::{Arc, OnceLock};
+
+use roadnet::distance::{travel_distance_via, NodeMetric};
+use roadnet::{bounded_ball, distances_to_targets, BallMetric, NodeId, RoadGraph};
+
+use crate::auxiliary::aux_road_graph;
+use crate::column_generation::{solve_column_generation, CgDiagnostics, CgOptions};
+use crate::cost::{CostMatrix, Prior};
+use crate::discretize::Discretization;
+use crate::error::VlpError;
+use crate::instance::VlpInstance;
+use crate::mechanism::Mechanism;
+use crate::privacy::{PrivacyConstraint, PrivacySpec};
+
+/// One neighborhood of a [`LocalityPlan`]: a canonical center interval
+/// and the sorted global interval ids of its support ball `B(c, ρ+r)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Neighborhood {
+    /// Global interval id of the canonical center.
+    pub center: usize,
+    /// Sorted global interval ids within `d̂(center, ·) ≤ ρ + r`
+    /// (always contains the center and every assigned interval).
+    pub members: Vec<usize>,
+}
+
+/// A deterministic cover of the `K` intervals by `d̂`-balls around
+/// greedy ρ-net centers, plus the nearest-center assignment.
+///
+/// Construction is a pure function of the auxiliary graph and the two
+/// radii (intervals scanned in ascending id order; ties broken towards
+/// the lower center id), so every replica derives the same canonical
+/// neighborhood ids and nearby vehicles share cache entries.
+#[derive(Debug, Clone)]
+pub struct LocalityPlan {
+    rho: f64,
+    protection: f64,
+    assign: Vec<u32>,
+    neighborhoods: Vec<Neighborhood>,
+}
+
+impl LocalityPlan {
+    /// Builds the plan on an auxiliary graph: greedy ρ-net centers
+    /// (an uncovered interval, scanned in ascending id order, becomes
+    /// the next center), nearest-center assignment, and support balls
+    /// of radius `ρ + protection` per center.
+    ///
+    /// Either radius may be `f64::INFINITY`; with `rho = ∞` the plan
+    /// degenerates to one neighborhood containing every interval — the
+    /// full-shard / radius-∞ case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aux_graph` has no vertices or either radius is
+    /// negative/NaN.
+    pub fn build(aux_graph: &RoadGraph, rho: f64, protection: f64) -> Self {
+        let k = aux_graph.node_count();
+        assert!(k > 0, "locality plan needs at least one interval");
+        assert!(rho >= 0.0, "assignment radius rho must be non-negative");
+        assert!(protection >= 0.0, "protection radius must be non-negative");
+        let ball_radius = rho + protection;
+        let mut assign: Vec<Option<(f64, u32)>> = vec![None; k];
+        let mut neighborhoods = Vec::new();
+        for i in 0..k {
+            if assign[i].is_some() {
+                continue;
+            }
+            let nb = u32::try_from(neighborhoods.len()).expect("neighborhood count fits u32");
+            let ball = bounded_ball(aux_graph, NodeId(i), ball_radius, BallMetric::Undirected);
+            let mut members: Vec<usize> = ball.iter().map(|&(v, _)| v.0).collect();
+            members.sort_unstable();
+            for &(v, d) in &ball {
+                if d > rho {
+                    continue;
+                }
+                // Nearest center wins; ties go to the earlier center.
+                let better = match assign[v.0] {
+                    None => true,
+                    Some((best, _)) => d < best,
+                };
+                if better {
+                    assign[v.0] = Some((d, nb));
+                }
+            }
+            neighborhoods.push(Neighborhood { center: i, members });
+        }
+        let assign = assign
+            .into_iter()
+            .map(|a| a.expect("greedy net covers every interval").1)
+            .collect();
+        Self {
+            rho,
+            protection,
+            assign,
+            neighborhoods,
+        }
+    }
+
+    /// The assignment radius ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The protection radius `r` the support balls were padded with.
+    pub fn protection(&self) -> f64 {
+        self.protection
+    }
+
+    /// The support-ball radius `ρ + r`.
+    pub fn ball_radius(&self) -> f64 {
+        self.rho + self.protection
+    }
+
+    /// Number of intervals covered.
+    pub fn len(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Whether the plan covers no intervals (never true — construction
+    /// panics on empty graphs).
+    pub fn is_empty(&self) -> bool {
+        self.assign.is_empty()
+    }
+
+    /// Number of neighborhoods (canonical cache-key cardinality).
+    pub fn neighborhood_count(&self) -> usize {
+        self.neighborhoods.len()
+    }
+
+    /// The canonical neighborhood id interval `i` is assigned to.
+    pub fn assignment(&self, interval: usize) -> u32 {
+        self.assign[interval]
+    }
+
+    /// The neighborhood with id `nb`.
+    pub fn neighborhood(&self, nb: u32) -> &Neighborhood {
+        &self.neighborhoods[nb as usize]
+    }
+
+    /// All neighborhoods, indexed by id.
+    pub fn neighborhoods(&self) -> &[Neighborhood] {
+        &self.neighborhoods
+    }
+}
+
+/// The position of global interval `global` within a sorted support
+/// slice, if present — the local row/column index of the restricted
+/// mechanism.
+pub fn local_index(support: &[usize], global: usize) -> Option<usize> {
+    support.binary_search(&global).ok()
+}
+
+/// A solved locally-relevant mechanism: a `k × k` [`Mechanism`] over
+/// local indices plus the sorted global support that lifts samples back
+/// to global interval ids (`global = support[local]`).
+#[derive(Debug, Clone)]
+pub struct LocalSolve {
+    /// Sorted global interval ids of the support (`k` entries).
+    pub support: Arc<Vec<usize>>,
+    /// The restricted mechanism over local indices.
+    pub mechanism: Mechanism,
+    /// Achieved quality loss on the restricted objective.
+    pub quality_loss: f64,
+    /// Column-generation diagnostics.
+    pub diagnostics: CgDiagnostics,
+    /// LP variable count (`k²`) — the quantity the `O(k²)` claim gates.
+    pub lp_vars: usize,
+    /// LP inequality-row count induced by the solved constraint set.
+    pub lp_rows: usize,
+}
+
+/// Builds the restricted cost matrix over `support` with the *raw*
+/// restricted priors (no renormalization — scaling rows by `f_P` and
+/// the whole matrix by `f_Q` leaves the LP argmin unchanged, and with
+/// full support the result is bit-identical to [`CostMatrix::build`]).
+/// `dist(i, q)` must return the directed interval distance between
+/// *global* ids.
+fn restricted_cost(
+    support: &[usize],
+    f_p: &Prior,
+    f_q: &Prior,
+    dist: impl Fn(usize, usize) -> f64,
+) -> CostMatrix {
+    let k = support.len();
+    let mut cost = vec![0.0; k * k];
+    for (a, row) in cost.chunks_mut(k).enumerate() {
+        let gi = support[a];
+        let fp = f_p.get(gi);
+        for (b, slot) in row.iter_mut().enumerate() {
+            let gl = support[b];
+            let mut acc = 0.0;
+            if fp > 0.0 {
+                // Same accumulation order as `CostMatrix::build`: `q`
+                // ascending (support is sorted by global id).
+                for &gq in support {
+                    let fq = f_q.get(gq);
+                    if fq > 0.0 {
+                        let di = dist(gi, gq);
+                        let dl = dist(gl, gq);
+                        acc += fq * (di - dl).abs();
+                    }
+                }
+            }
+            *slot = fp * acc;
+        }
+    }
+    CostMatrix::from_dense(k, cost)
+}
+
+/// Builds the unreduced restricted `(ε, r)` spec over `support`: one
+/// constraint per ordered local pair with full-graph
+/// `d_min ≤ radius`, enumerated in the same order as
+/// [`PrivacySpec::full`]. `d_min(i, l)` takes *global* ids.
+fn restricted_spec(
+    support: &[usize],
+    epsilon: f64,
+    radius: f64,
+    d_min: impl Fn(usize, usize) -> f64,
+) -> PrivacySpec {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let k = support.len();
+    let mut constraints = Vec::new();
+    for a in 0..k {
+        for b in 0..k {
+            if a == b {
+                continue;
+            }
+            let d = d_min(support[a], support[b]);
+            if d <= radius {
+                constraints.push(PrivacyConstraint {
+                    i: a,
+                    l: b,
+                    dist: d,
+                });
+            }
+        }
+    }
+    PrivacySpec {
+        epsilon,
+        radius,
+        constraints,
+    }
+}
+
+/// Validates a support slice: non-empty, strictly increasing, in range.
+fn check_support(support: &[usize], k: usize) {
+    assert!(!support.is_empty(), "support must be non-empty");
+    assert!(
+        support.windows(2).all(|w| w[0] < w[1]),
+        "support must be sorted and duplicate-free"
+    );
+    assert!(*support.last().unwrap() < k, "support id out of range");
+}
+
+impl VlpInstance {
+    /// Builds a [`LocalityPlan`] for this instance's auxiliary graph.
+    pub fn locality_plan(&self, rho: f64, protection: f64) -> LocalityPlan {
+        LocalityPlan::build(self.aux.graph(), rho, protection)
+    }
+
+    /// The unreduced restricted `(ε, radius)` audit spec over
+    /// `support`, with full-graph `d_min` distances in the exponents —
+    /// what [`crate::privacy::verify`] checks a locally-relevant
+    /// mechanism against.
+    pub fn local_spec(&self, support: &[usize], epsilon: f64, radius: f64) -> PrivacySpec {
+        check_support(support, self.len());
+        restricted_spec(support, epsilon, radius, |i, l| self.aux.distance_min(i, l))
+    }
+
+    /// Solves D-VLP restricted to `support` (sorted global interval
+    /// ids) at `(epsilon, radius)`-Geo-I.
+    ///
+    /// With full support this delegates verbatim to [`Self::solve`] —
+    /// the radius-∞ case *is* the full-shard solve, bit for bit. With a
+    /// partial support it builds the restricted cost (raw restricted
+    /// priors) and the unreduced restricted constraint set (full-graph
+    /// `d_min`; see the module docs for why Algorithm 1 must not run on
+    /// an induced subgraph) and solves the `O(k²)`-variable LP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures as [`VlpError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `support` is empty, unsorted, or out of range.
+    pub fn solve_local(
+        &self,
+        epsilon: f64,
+        radius: f64,
+        support: &[usize],
+        opts: &CgOptions,
+    ) -> Result<LocalSolve, VlpError> {
+        let big_k = self.len();
+        check_support(support, big_k);
+        if support.len() == big_k {
+            let solved = self.solve(epsilon, radius, opts)?;
+            let lp_rows = solved.spec.lp_row_count(big_k);
+            return Ok(LocalSolve {
+                support: Arc::new(support.to_vec()),
+                mechanism: solved.mechanism,
+                quality_loss: solved.quality_loss,
+                diagnostics: solved.diagnostics,
+                lp_vars: big_k * big_k,
+                lp_rows,
+            });
+        }
+        let cost = restricted_cost(support, &self.f_p, &self.f_q, |i, q| {
+            self.interval_dists.get(i, q)
+        });
+        let spec = restricted_spec(support, epsilon, radius, |i, l| self.aux.distance_min(i, l));
+        let k = support.len();
+        let lp_rows = spec.lp_row_count(k);
+        let (mechanism, quality_loss, diagnostics) = solve_column_generation(&cost, &spec, opts)?;
+        Ok(LocalSolve {
+            support: Arc::new(support.to_vec()),
+            mechanism,
+            quality_loss,
+            diagnostics,
+            lp_vars: k * k,
+            lp_rows,
+        })
+    }
+}
+
+/// Sparse node-to-node distance table for [`travel_distance_via`]:
+/// exact Dijkstra distances for the (source, target) node pairs a
+/// neighborhood's cost build consults, and nothing else.
+struct SparseNodeDists {
+    /// `rows[s]` is `Some(per-target distances)` only for source nodes.
+    rows: Vec<Option<Vec<f64>>>,
+    /// `target_slot[t]` is the column of node `t` in a source row.
+    target_slot: Vec<Option<usize>>,
+}
+
+impl NodeMetric for SparseNodeDists {
+    fn node_dist(&self, s: NodeId, t: NodeId) -> f64 {
+        let slot = self.target_slot[t.0].expect("consulted target was precomputed");
+        match &self.rows[s.0] {
+            Some(row) => row[slot],
+            None => unreachable!("consulted source was precomputed"),
+        }
+    }
+}
+
+impl SparseNodeDists {
+    /// Runs one target-terminated Dijkstra per unique source node.
+    /// Settled distances are bit-identical to the all-pairs matrix.
+    fn build(graph: &RoadGraph, sources: &[NodeId], targets: &[NodeId]) -> Self {
+        let n = graph.node_count();
+        let mut target_slot = vec![None; n];
+        let mut uniq_targets = Vec::new();
+        for &t in targets {
+            if target_slot[t.0].is_none() {
+                target_slot[t.0] = Some(uniq_targets.len());
+                uniq_targets.push(t);
+            }
+        }
+        let mut rows: Vec<Option<Vec<f64>>> = vec![None; n];
+        for &s in sources {
+            if rows[s.0].is_none() {
+                rows[s.0] = Some(distances_to_targets(
+                    graph,
+                    s,
+                    &uniq_targets,
+                    BallMetric::Out,
+                ));
+            }
+        }
+        Self { rows, target_slot }
+    }
+}
+
+/// The sparse locally-relevant solve engine: everything the serving
+/// layer needs to serve a shard in local mode *without ever building an
+/// `O(K²)` matrix*. Boot cost is `O(K)` plus one bounded Dijkstra ball
+/// per ρ-net center; each solve touches only its neighborhood.
+///
+/// The full-support case (one neighborhood spanning the shard, e.g.
+/// `rho = ∞`) lazily builds a dense [`VlpInstance`] and delegates to
+/// it, so the radius-∞ mode is bit-identical to full-shard serving.
+#[derive(Debug, Clone)]
+pub struct LocalShard {
+    graph: RoadGraph,
+    disc: Discretization,
+    aux_graph: RoadGraph,
+    f_p: Prior,
+    f_q: Prior,
+    plan: LocalityPlan,
+    delta: f64,
+    /// Lazily built dense instance backing full-support delegation.
+    dense: OnceLock<Arc<VlpInstance>>,
+}
+
+impl LocalShard {
+    /// Builds a shard with the given priors, an assignment radius
+    /// `rho`, and a protection radius `protection` (the Geo-I `r` the
+    /// support balls must be padded with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the priors' dimension mismatches the discretization,
+    /// or if `rho` is finite while `protection` is infinite (a support
+    /// ball of radius ∞ around every center would defeat the mode; use
+    /// `rho = ∞` for the explicit full-shard case).
+    pub fn with_priors(
+        graph: RoadGraph,
+        delta: f64,
+        rho: f64,
+        protection: f64,
+        f_p: Prior,
+        f_q: Prior,
+    ) -> Self {
+        assert!(
+            rho.is_infinite() || protection.is_finite(),
+            "finite rho requires a finite protection radius"
+        );
+        let disc = Discretization::new(&graph, delta);
+        assert_eq!(f_p.len(), disc.len(), "f_P dimension mismatch");
+        assert_eq!(f_q.len(), disc.len(), "f_Q dimension mismatch");
+        let aux_graph = aux_road_graph(&graph, &disc);
+        let plan = LocalityPlan::build(&aux_graph, rho, protection);
+        Self {
+            graph,
+            disc,
+            aux_graph,
+            f_p,
+            f_q,
+            plan,
+            delta,
+            dense: OnceLock::new(),
+        }
+    }
+
+    /// Builds a shard with uniform priors.
+    pub fn uniform(graph: RoadGraph, delta: f64, rho: f64, protection: f64) -> Self {
+        let disc = Discretization::new(&graph, delta);
+        let k = disc.len();
+        let (f_p, f_q) = (Prior::uniform(k), Prior::uniform(k));
+        Self::with_priors(graph, delta, rho, protection, f_p, f_q)
+    }
+
+    /// The road graph.
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// The δ-interval partition.
+    pub fn disc(&self) -> &Discretization {
+        &self.disc
+    }
+
+    /// The locality plan (canonical neighborhood ids).
+    pub fn plan(&self) -> &LocalityPlan {
+        &self.plan
+    }
+
+    /// Number of intervals `K`.
+    pub fn len(&self) -> usize {
+        self.disc.len()
+    }
+
+    /// Whether the shard has no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.disc.is_empty()
+    }
+
+    /// The canonical neighborhood id of interval `i`.
+    pub fn neighborhood_of(&self, interval: usize) -> u32 {
+        self.plan.assignment(interval)
+    }
+
+    /// Sorted global support of neighborhood `nb`.
+    pub fn members(&self, nb: u32) -> &[usize] {
+        &self.plan.neighborhood(nb).members
+    }
+
+    /// Replaces the worker prior `f_P`. Costs are built per solve from
+    /// the raw priors, so this is `O(1)` apart from resetting the lazy
+    /// dense instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn set_worker_prior(&mut self, f_p: Prior) {
+        assert_eq!(f_p.len(), self.disc.len(), "f_P dimension mismatch");
+        self.f_p = f_p;
+        self.dense = OnceLock::new();
+    }
+
+    /// The lazily built dense instance backing full-support delegation.
+    fn dense_instance(&self) -> &Arc<VlpInstance> {
+        self.dense.get_or_init(|| {
+            Arc::new(VlpInstance::new(
+                self.graph.clone(),
+                self.delta,
+                self.f_p.clone(),
+                self.f_q.clone(),
+            ))
+        })
+    }
+
+    /// Directed `d_min` balls of radius `r` on the auxiliary graph,
+    /// one per member: `map[a][global] = d(member_a → global)` for the
+    /// settled prefix. `d_min(a, b) ≤ r` iff either directed distance
+    /// is settled within `r`, and the settled values are bit-identical
+    /// to the dense all-pairs runs.
+    fn member_out_balls(&self, members: &[usize], radius: f64) -> Vec<Vec<(usize, f64)>> {
+        members
+            .iter()
+            .map(|&g| {
+                bounded_ball(&self.aux_graph, NodeId(g), radius, BallMetric::Out)
+                    .into_iter()
+                    .map(|(v, d)| (v.0, d))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The unreduced restricted `(ε, protection)` spec of neighborhood
+    /// `nb` — both the constraint set local solves enforce and the
+    /// audit spec served mechanisms are verified against.
+    pub fn audit_spec(&self, nb: u32, epsilon: f64) -> PrivacySpec {
+        let members = self.members(nb);
+        if members.len() == self.len() {
+            return PrivacySpec::full(&self.dense_instance().aux, epsilon, self.plan.protection());
+        }
+        let radius = self.plan.protection();
+        let balls = self.member_out_balls(members, radius);
+        // Dense per-member lookup over global ids (small: ball-sized).
+        let k_total = self.len();
+        let mut out = vec![f64::INFINITY; members.len() * k_total];
+        for (a, ball) in balls.iter().enumerate() {
+            for &(g, d) in ball {
+                out[a * k_total + g] = d;
+            }
+        }
+        let member_slot: std::collections::HashMap<usize, usize> =
+            members.iter().enumerate().map(|(a, &g)| (g, a)).collect();
+        restricted_spec(members, epsilon, radius, |gi, gl| {
+            let a = member_slot[&gi];
+            let b = member_slot[&gl];
+            out[a * k_total + gl].min(out[b * k_total + gi])
+        })
+    }
+
+    /// Solves neighborhood `nb` at budget `epsilon`: an
+    /// `O(k²)`-variable LP whose cost and constraints are computed with
+    /// neighborhood-bounded Dijkstra runs — bit-identical to
+    /// [`VlpInstance::solve_local`] over the same support, without the
+    /// dense `O(K²)` precomputation. Full-support neighborhoods
+    /// delegate to the dense instance ([`VlpInstance::solve`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures as [`VlpError`].
+    pub fn solve_neighborhood(
+        &self,
+        nb: u32,
+        epsilon: f64,
+        opts: &CgOptions,
+    ) -> Result<LocalSolve, VlpError> {
+        let members = self.members(nb);
+        if members.len() == self.len() {
+            return self.dense_instance().solve_local(
+                epsilon,
+                self.plan.protection(),
+                members,
+                opts,
+            );
+        }
+        // Cost: directed road-graph distances between member midpoints,
+        // via target-terminated Dijkstra from the member edges' end
+        // nodes — the same Eq. 9/10 composition as the dense build.
+        let mids: Vec<_> = members
+            .iter()
+            .map(|&g| self.disc.interval(g).midpoint())
+            .collect();
+        let sources: Vec<NodeId> = mids
+            .iter()
+            .map(|m| self.graph.edge(m.edge()).end())
+            .collect();
+        let targets: Vec<NodeId> = mids
+            .iter()
+            .map(|m| self.graph.edge(m.edge()).start())
+            .collect();
+        let node_dists = SparseNodeDists::build(&self.graph, &sources, &targets);
+        let member_slot: std::collections::HashMap<usize, usize> =
+            members.iter().enumerate().map(|(a, &g)| (g, a)).collect();
+        let cost = restricted_cost(members, &self.f_p, &self.f_q, |gi, gq| {
+            travel_distance_via(
+                &self.graph,
+                &node_dists,
+                mids[member_slot[&gi]],
+                mids[member_slot[&gq]],
+            )
+        });
+        let spec = self.audit_spec(nb, epsilon);
+        let k = members.len();
+        let lp_rows = spec.lp_row_count(k);
+        let (mechanism, quality_loss, diagnostics) = solve_column_generation(&cost, &spec, opts)?;
+        Ok(LocalSolve {
+            support: Arc::new(members.to_vec()),
+            mechanism,
+            quality_loss,
+            diagnostics,
+            lp_vars: k * k,
+            lp_rows,
+        })
+    }
+
+    /// The closed-form per-neighborhood fallback at budget `epsilon`:
+    /// graph-Laplace over the *restricted* metric-closure submatrix,
+    /// `z_{a,b} ∝ e^{−(ε/2)·d̂(a,b)}` row-normalized over the support.
+    ///
+    /// Privacy: `d̂` restricted to the support is still symmetric and
+    /// still satisfies the triangle inequality (it is a global metric
+    /// evaluated on a subset — paths may leave the neighborhood), so
+    /// the proof of [`crate::baseline::graph_laplace`] carries over
+    /// verbatim, with `d̂ ≤ d_min` matching every audit-spec exponent.
+    /// Full-support neighborhoods delegate to the dense
+    /// [`VlpInstance::fallback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not positive or the support is not
+    /// `d̂`-connected to itself (impossible on strongly connected
+    /// shards).
+    pub fn fallback_neighborhood(&self, nb: u32, epsilon: f64) -> Mechanism {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let members = self.members(nb);
+        if members.len() == self.len() {
+            return self.dense_instance().fallback(epsilon);
+        }
+        let k = members.len();
+        let nodes: Vec<NodeId> = members.iter().map(|&g| NodeId(g)).collect();
+        let mut z = vec![0.0; k * k];
+        for (a, row) in z.chunks_mut(k).enumerate() {
+            let d_hat =
+                distances_to_targets(&self.aux_graph, nodes[a], &nodes, BallMetric::Undirected);
+            for (b, slot) in row.iter_mut().enumerate() {
+                let d = d_hat[b];
+                assert!(d.is_finite(), "support must be connected under d-hat");
+                *slot = (-(epsilon / 2.0) * d).exp();
+            }
+            let total: f64 = row.iter().sum();
+            for slot in row.iter_mut() {
+                *slot /= total;
+            }
+        }
+        Mechanism::from_matrix(k, z, 1e-9).expect("restricted graph-Laplace is row-stochastic")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy;
+    use roadnet::generators;
+
+    fn small_instance() -> VlpInstance {
+        VlpInstance::uniform(generators::grid(3, 3, 0.4, true), 0.2)
+    }
+
+    #[test]
+    fn plan_covers_every_interval_within_rho() {
+        let inst = small_instance();
+        let plan = inst.locality_plan(0.5, 0.4);
+        assert_eq!(plan.len(), inst.len());
+        assert!(plan.neighborhood_count() >= 1);
+        for i in 0..inst.len() {
+            let nb = plan.assignment(i);
+            let hood = plan.neighborhood(nb);
+            assert!(
+                hood.members.binary_search(&i).is_ok(),
+                "interval {i} missing from its own neighborhood"
+            );
+        }
+        // Centers are members of their own neighborhoods and every
+        // members list is sorted and duplicate-free.
+        for hood in plan.neighborhoods() {
+            assert!(hood.members.binary_search(&hood.center).is_ok());
+            assert!(hood.members.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let inst = small_instance();
+        let a = inst.locality_plan(0.5, 0.4);
+        let b = inst.locality_plan(0.5, 0.4);
+        assert_eq!(a.neighborhoods(), b.neighborhoods());
+        assert_eq!(
+            (0..inst.len()).map(|i| a.assignment(i)).collect::<Vec<_>>(),
+            (0..inst.len()).map(|i| b.assignment(i)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn infinite_rho_is_one_full_neighborhood() {
+        let inst = small_instance();
+        let plan = inst.locality_plan(f64::INFINITY, 0.4);
+        assert_eq!(plan.neighborhood_count(), 1);
+        assert_eq!(plan.neighborhood(0).members.len(), inst.len());
+    }
+
+    #[test]
+    fn every_r_close_counterpart_is_in_support() {
+        // The locality theorem, checked exhaustively: for every
+        // interval i and every l with d_min(i, l) <= r, l is in i's
+        // assigned neighborhood support.
+        let inst = small_instance();
+        let r = 0.4;
+        let plan = inst.locality_plan(0.5, r);
+        for i in 0..inst.len() {
+            let hood = plan.neighborhood(plan.assignment(i));
+            for l in 0..inst.len() {
+                if inst.aux.distance_min(i, l) <= r {
+                    assert!(
+                        hood.members.binary_search(&l).is_ok(),
+                        "interval {l} within r of {i} but outside its support"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_support_solve_local_delegates_bit_identically() {
+        let inst = small_instance();
+        let full: Vec<usize> = (0..inst.len()).collect();
+        let opts = CgOptions::default();
+        let a = inst.solve(3.0, 0.5, &opts).unwrap();
+        let b = inst.solve_local(3.0, 0.5, &full, &opts).unwrap();
+        assert_eq!(a.mechanism, b.mechanism);
+        assert_eq!(a.quality_loss.to_bits(), b.quality_loss.to_bits());
+        assert_eq!(b.lp_vars, inst.len() * inst.len());
+    }
+
+    #[test]
+    fn restricted_solve_is_epsilon_valid_and_smaller() {
+        let inst = small_instance();
+        let r = 0.4;
+        let plan = inst.locality_plan(0.4, r);
+        assert!(plan.neighborhood_count() > 1, "rho too large for the test");
+        let nb = plan.assignment(0);
+        let members = &plan.neighborhood(nb).members;
+        assert!(members.len() < inst.len());
+        let solved = inst
+            .solve_local(3.0, r, members, &CgOptions::default())
+            .unwrap();
+        assert_eq!(solved.lp_vars, members.len() * members.len());
+        let spec = inst.local_spec(members, 3.0, r);
+        assert!(privacy::verify(&solved.mechanism, &spec, 1e-6));
+    }
+
+    #[test]
+    fn sparse_engine_matches_dense_bit_for_bit() {
+        let graph = generators::grid(3, 3, 0.4, true);
+        let inst = VlpInstance::uniform(graph.clone(), 0.2);
+        let shard = LocalShard::uniform(graph, 0.2, 0.4, 0.4);
+        let opts = CgOptions::default();
+        for nb in 0..shard.plan().neighborhood_count() as u32 {
+            let members = shard.members(nb).to_vec();
+            if members.len() == shard.len() {
+                continue;
+            }
+            let sparse = shard.solve_neighborhood(nb, 3.0, &opts).unwrap();
+            let dense = inst.solve_local(3.0, 0.4, &members, &opts).unwrap();
+            assert_eq!(sparse.mechanism, dense.mechanism, "nb {nb}");
+            assert_eq!(
+                sparse.quality_loss.to_bits(),
+                dense.quality_loss.to_bits(),
+                "nb {nb}"
+            );
+            // And the audit specs agree exactly.
+            let a = shard.audit_spec(nb, 3.0);
+            let b = inst.local_spec(&members, 3.0, 0.4);
+            assert_eq!(a, b, "nb {nb}");
+        }
+    }
+
+    #[test]
+    fn sparse_fallback_is_epsilon_valid_per_neighborhood() {
+        let shard = LocalShard::uniform(generators::grid(3, 3, 0.4, true), 0.2, 0.4, 0.4);
+        for nb in 0..shard.plan().neighborhood_count() as u32 {
+            let mech = shard.fallback_neighborhood(nb, 5.0);
+            let spec = shard.audit_spec(nb, 5.0);
+            assert!(
+                privacy::verify(&mech, &spec, 1e-9),
+                "fallback for nb {nb} violates Geo-I"
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_rho_shard_delegates_to_dense_solve() {
+        let graph = generators::grid(2, 2, 0.5, true);
+        let inst = VlpInstance::uniform(graph.clone(), 0.25);
+        let shard = LocalShard::uniform(graph, 0.25, f64::INFINITY, 0.5);
+        assert_eq!(shard.plan().neighborhood_count(), 1);
+        let opts = CgOptions::default();
+        let a = inst.solve(2.0, 0.5, &opts).unwrap();
+        let b = shard.solve_neighborhood(0, 2.0, &opts).unwrap();
+        assert_eq!(a.mechanism, b.mechanism);
+        assert_eq!(
+            inst.fallback(2.0),
+            shard.fallback_neighborhood(0, 2.0),
+            "full-support fallback must be the dense graph-Laplace"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite rho requires a finite protection radius")]
+    fn rejects_infinite_protection_with_finite_rho() {
+        LocalShard::uniform(generators::grid(2, 2, 0.5, true), 0.25, 0.4, f64::INFINITY);
+    }
+
+    #[test]
+    fn local_index_maps_support_to_rows() {
+        let support = vec![2, 5, 9];
+        assert_eq!(local_index(&support, 5), Some(1));
+        assert_eq!(local_index(&support, 4), None);
+    }
+}

@@ -62,8 +62,8 @@ mod worker;
 pub use server::metrics;
 pub use server::{Server, ServerConfig, SnapshotOutcome};
 pub use service::{
-    BreakerState, MechanismService, Obfuscation, ResilienceConfig, Response, Served, ServiceConfig,
-    ServiceHandle, ServiceHealth, ShardHealth, ShutdownReport,
+    BreakerState, LocalConfig, MechanismService, Obfuscation, ResilienceConfig, Response, Served,
+    ServiceConfig, ServiceHandle, ServiceHealth, ShardHealth, ShutdownReport,
 };
 pub use simulation::{Simulation, SimulationConfig, SimulationReport};
 pub use worker::{Worker, WorkerId, WorkerStatus};

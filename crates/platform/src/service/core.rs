@@ -33,10 +33,13 @@ use std::time::{Duration, Instant};
 
 use rand::RngExt;
 use roadnet::{Location, Partition, RoadGraph};
-use vlp_core::{Mechanism, Prior, VlpInstance};
+use vlp_core::local::local_index;
+use vlp_core::{LocalShard, Mechanism, Prior, VlpError, VlpInstance};
 use vlp_obs::failpoint::{self, site, FaultPlan};
 
-use super::ladder::{solve_key, Breaker, BreakerState, CachedSolve, LruCache, MissOutcome};
+use super::ladder::{
+    solve_key, Breaker, BreakerState, CachedSolve, LruCache, MechKey, MissOutcome, SolveStats,
+};
 use super::{metrics, Obfuscation, Response, Served, ServiceConfig};
 use crate::WorkerId;
 
@@ -98,20 +101,21 @@ pub(crate) struct ShardTable {
     pub(crate) cache: LruCache,
     /// Ladder rung 3: mechanisms displaced from the cache, each tagged
     /// with the epoch of its demotion.
-    pub(crate) stale: HashMap<u64, (CachedSolve, u64)>,
-    pub(crate) fallbacks: HashMap<u64, Arc<Mechanism>>,
+    pub(crate) stale: HashMap<MechKey, (CachedSolve, u64)>,
+    pub(crate) fallbacks: HashMap<MechKey, Arc<Mechanism>>,
     pub(crate) breaker: Breaker,
-    /// ε-buckets with a solve currently queued or running; duplicate
-    /// misses coalesce onto it instead of enqueueing again.
-    pub(crate) inflight: HashSet<u64>,
+    /// `(neighborhood, ε-bucket)` keys with a solve currently queued or
+    /// running; duplicate misses coalesce onto it instead of enqueueing
+    /// again.
+    pub(crate) inflight: HashSet<MechKey>,
     /// The epoch whose half-open probe slot has been used, if any.
     probe_epoch: Option<u64>,
     /// The epoch this shard is blacked out for, if any (set by `tick`
     /// from the chaos plan).
     blackout_epoch: Option<u64>,
-    /// Buckets whose blackout failure was already accounted this epoch
-    /// (one breaker failure per bucket per epoch, like the batch path).
-    blackout_accounted: HashSet<u64>,
+    /// Keys whose blackout failure was already accounted this epoch
+    /// (one breaker failure per key per epoch, like the batch path).
+    blackout_accounted: HashSet<MechKey>,
     /// Bumped by each prior update; solves started under an older
     /// generation are demoted to stale instead of cached as fresh.
     pub(crate) instance_gen: u64,
@@ -136,8 +140,8 @@ impl ShardTable {
 
     /// Demotes a displaced cache entry into the bounded stale store
     /// (ladder rung 3), evicting the oldest demotion on overflow.
-    pub(crate) fn demote(&mut self, capacity: usize, bucket: u64, entry: CachedSolve, epoch: u64) {
-        if !self.stale.contains_key(&bucket) && self.stale.len() >= capacity {
+    pub(crate) fn demote(&mut self, capacity: usize, key: MechKey, entry: CachedSolve, epoch: u64) {
+        if !self.stale.contains_key(&key) && self.stale.len() >= capacity {
             if let Some(&victim) = self
                 .stale
                 .iter()
@@ -148,21 +152,21 @@ impl ShardTable {
                 self.stale.remove(&victim);
             }
         }
-        self.stale.insert(bucket, (entry, epoch));
+        self.stale.insert(key, (entry, epoch));
         vlp_obs::global().incr(metrics::STALE_DEMOTIONS, 1);
     }
 
-    /// The fallback mechanism for `bucket`, built lazily on first use.
+    /// The fallback mechanism for `key`, built lazily on first use.
     pub(crate) fn fallback_entry(
         &mut self,
-        instance: &VlpInstance,
-        bucket: u64,
+        engine: &EngineSnapshot,
+        key: MechKey,
         canonical: f64,
     ) -> Arc<Mechanism> {
         Arc::clone(
             self.fallbacks
-                .entry(bucket)
-                .or_insert_with(|| Arc::new(instance.fallback(canonical))),
+                .entry(key)
+                .or_insert_with(|| Arc::new(engine.build_fallback(key.nb, canonical))),
         )
     }
 }
@@ -172,20 +176,141 @@ impl ShardTable {
 /// in deterministic key order; `reply: None` is open-loop mode — the
 /// worker publishes the outcome into the shard table itself.
 pub(crate) struct SolveJob {
-    pub(crate) bucket: u64,
+    pub(crate) key: MechKey,
     /// The canonical (bucketed) ε to solve at.
     pub(crate) epsilon: f64,
     /// The epoch (or batch index) keying failpoint evaluation.
     pub(crate) epoch: u64,
-    pub(crate) reply: Option<mpsc::Sender<((usize, u64), MissOutcome)>>,
+    pub(crate) reply: Option<mpsc::Sender<((usize, MechKey), MissOutcome)>>,
 }
 
-/// One region shard's runtime: its instance (copy-on-write behind an
-/// `RwLock` so prior updates never block readers for the clone), its
+/// One shard's solve engine: the classic full-shard instance (one
+/// `O(K²)` LP per ε-bucket), or the locally-relevant engine that
+/// restricts every solve to a ρ-net neighborhood and never materializes
+/// an `O(K²)` object. Both sit behind an `RwLock` so prior updates are
+/// copy-on-write and never block readers for the clone.
+#[derive(Debug)]
+pub(crate) enum ShardEngine {
+    Full(RwLock<Arc<VlpInstance>>),
+    Local(RwLock<Arc<LocalShard>>),
+}
+
+/// A point-in-time snapshot of one shard's engine (cheap: one refcount
+/// bump), carrying everything a request or a solver worker needs —
+/// locating/transplanting on the shard map, routing intervals to
+/// neighborhoods, solving, and building per-neighborhood fallbacks.
+#[derive(Debug, Clone)]
+pub(crate) enum EngineSnapshot {
+    Full(Arc<VlpInstance>),
+    Local(Arc<LocalShard>),
+}
+
+impl EngineSnapshot {
+    /// Locates a shard-local location's interval on the shard map.
+    pub(crate) fn locate(&self, local: Location) -> Option<usize> {
+        match self {
+            EngineSnapshot::Full(inst) => inst.disc.locate(&inst.graph, local),
+            EngineSnapshot::Local(shard) => shard.disc().locate(shard.graph(), local),
+        }
+    }
+
+    /// Transplants a location onto (global) interval `j`.
+    pub(crate) fn transplant(&self, local: Location, j: usize) -> Option<Location> {
+        match self {
+            EngineSnapshot::Full(inst) => inst.disc.transplant(&inst.graph, local, j),
+            EngineSnapshot::Local(shard) => shard.disc().transplant(shard.graph(), local, j),
+        }
+    }
+
+    /// The neighborhood serving interval `i`: always `0` in full-shard
+    /// mode, the ρ-net assignment in locally-relevant mode.
+    pub(crate) fn neighborhood_of(&self, i: usize) -> u32 {
+        match self {
+            EngineSnapshot::Full(_) => 0,
+            EngineSnapshot::Local(shard) => shard.neighborhood_of(i),
+        }
+    }
+
+    /// Maps global interval `i` to its row in neighborhood `nb`'s
+    /// mechanism. Identity in full-shard mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside `nb`'s support — impossible for the
+    /// serving path, which derives `nb` from `i`'s own assignment (an
+    /// interval is always ρ-covered by its assigned center, hence in
+    /// the ρ+r ball).
+    pub(crate) fn local_row(&self, nb: u32, i: usize) -> usize {
+        match self {
+            EngineSnapshot::Full(_) => i,
+            EngineSnapshot::Local(shard) => local_index(shard.members(nb), i)
+                .expect("an interval is in its assigned neighborhood's support"),
+        }
+    }
+
+    /// Maps a sampled mechanism column of neighborhood `nb` back to a
+    /// global interval id. Identity in full-shard mode.
+    pub(crate) fn global_interval(&self, nb: u32, col: usize) -> usize {
+        match self {
+            EngineSnapshot::Full(_) => col,
+            EngineSnapshot::Local(shard) => shard.members(nb)[col],
+        }
+    }
+
+    /// Builds neighborhood `nb`'s closed-form fallback at `canonical`.
+    pub(crate) fn build_fallback(&self, nb: u32, canonical: f64) -> Mechanism {
+        match self {
+            EngineSnapshot::Full(inst) => inst.fallback(canonical),
+            EngineSnapshot::Local(shard) => shard.fallback_neighborhood(nb, canonical),
+        }
+    }
+
+    /// Runs one solve for `key` and packages it with its LP-shape
+    /// stats. `radius` is only read in full-shard mode; the local
+    /// engine's protection radius is fixed at boot.
+    pub(crate) fn solve(
+        &self,
+        key: MechKey,
+        epsilon: f64,
+        radius: f64,
+        cg: &vlp_core::CgOptions,
+    ) -> Result<CachedSolve, VlpError> {
+        match self {
+            EngineSnapshot::Full(inst) => inst.solve(epsilon, radius, cg).map(|sv| {
+                let k = inst.len();
+                CachedSolve {
+                    mechanism: Arc::new(sv.mechanism),
+                    quality_loss: sv.quality_loss,
+                    stats: SolveStats {
+                        support: k as u64,
+                        lp_vars: (k * k) as u64,
+                        lp_rows: sv.spec.lp_row_count(k) as u64,
+                    },
+                }
+            }),
+            EngineSnapshot::Local(shard) => {
+                shard
+                    .solve_neighborhood(key.nb, epsilon, cg)
+                    .map(|ls| CachedSolve {
+                        mechanism: Arc::new(ls.mechanism),
+                        quality_loss: ls.quality_loss,
+                        stats: SolveStats {
+                            support: ls.support.len() as u64,
+                            lp_vars: ls.lp_vars as u64,
+                            lp_rows: ls.lp_rows as u64,
+                        },
+                    })
+            }
+        }
+    }
+}
+
+/// One region shard's runtime: its solve engine (copy-on-write behind
+/// an `RwLock` so prior updates never block readers for the clone), its
 /// routing table, and the sending half of its bounded solve queue.
 #[derive(Debug)]
 pub(crate) struct ShardRuntime {
-    instance: RwLock<Arc<VlpInstance>>,
+    engine: ShardEngine,
     pub(crate) table: Mutex<ShardTable>,
     sender: Mutex<Option<SyncSender<SolveJob>>>,
     /// Jobs completed after shutdown began (the drain).
@@ -193,9 +318,43 @@ pub(crate) struct ShardRuntime {
 }
 
 impl ShardRuntime {
-    /// A snapshot of the shard's instance (cheap: one refcount bump).
+    /// A snapshot of the shard's engine (cheap: one refcount bump).
+    pub(crate) fn engine(&self) -> EngineSnapshot {
+        match &self.engine {
+            ShardEngine::Full(slot) => {
+                EngineSnapshot::Full(Arc::clone(&slot.read().unwrap_or_else(|p| p.into_inner())))
+            }
+            ShardEngine::Local(slot) => {
+                EngineSnapshot::Local(Arc::clone(&slot.read().unwrap_or_else(|p| p.into_inner())))
+            }
+        }
+    }
+
+    /// A snapshot of the shard's full-shard instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics in locally-relevant mode, which never materializes an
+    /// `O(K²)` instance — use the [`LocalShard`] accessors instead.
     pub(crate) fn instance(&self) -> Arc<VlpInstance> {
-        Arc::clone(&self.instance.read().unwrap_or_else(|p| p.into_inner()))
+        match &self.engine {
+            ShardEngine::Full(slot) => Arc::clone(&slot.read().unwrap_or_else(|p| p.into_inner())),
+            ShardEngine::Local(_) => panic!(
+                "shard_instance is a full-shard accessor; \
+                 locally-relevant shards expose LocalShard instead"
+            ),
+        }
+    }
+
+    /// A snapshot of the shard's locally-relevant engine, when the
+    /// service runs in that mode.
+    pub(crate) fn local_shard(&self) -> Option<Arc<LocalShard>> {
+        match &self.engine {
+            ShardEngine::Full(_) => None,
+            ShardEngine::Local(slot) => {
+                Some(Arc::clone(&slot.read().unwrap_or_else(|p| p.into_inner())))
+            }
+        }
     }
 
     fn sender(&self) -> Option<SyncSender<SolveJob>> {
@@ -303,12 +462,19 @@ impl CoreShared {
         let (bucket, canonical) = self.bucket(epsilon);
         let epoch = self.epoch.load(Ordering::Relaxed);
         let shard = &self.shards[s];
-        let instance = shard.instance();
+        let engine = shard.engine();
+        let i = engine
+            .locate(local)
+            .expect("shard-local location lies on the shard");
+        let key = MechKey {
+            nb: engine.neighborhood_of(i),
+            bucket,
+        };
 
         let served: Option<(Arc<Mechanism>, Served)> = {
             let mut t = lock(&shard.table);
             t.stats.requests += 1;
-            if let Some(hit) = t.cache.get(bucket).map(|e| Arc::clone(&e.mechanism)) {
+            if let Some(hit) = t.cache.get(key).map(|e| Arc::clone(&e.mechanism)) {
                 // The hot path: one refcount bump under the table lock,
                 // sampling happens outside it. No queue is touched.
                 t.stats.hits += 1;
@@ -316,7 +482,7 @@ impl CoreShared {
                 Some((hit, Served::Optimal { cached: true }))
             } else {
                 t.stats.misses += 1;
-                self.admit_miss(&mut t, shard, &instance, bucket, canonical, epoch)
+                self.admit_miss(&mut t, shard, &engine, key, canonical, epoch)
             }
         };
         match served {
@@ -326,14 +492,10 @@ impl CoreShared {
                 epsilon: canonical,
             },
             Some((mechanism, served)) => {
-                let i = instance
-                    .disc
-                    .locate(&instance.graph, local)
-                    .expect("shard-local location lies on the shard");
-                let j = mechanism.sample_interval(i, rng);
-                let location = instance
-                    .disc
-                    .transplant(&instance.graph, local, j)
+                let row = engine.local_row(key.nb, i);
+                let j = engine.global_interval(key.nb, mechanism.sample_interval(row, rng));
+                let location = engine
+                    .transplant(local, j)
                     .expect("reported interval lies on the shard");
                 Response::Served(Obfuscation {
                     worker,
@@ -354,8 +516,8 @@ impl CoreShared {
         &self,
         t: &mut ShardTable,
         shard: &ShardRuntime,
-        instance: &VlpInstance,
-        bucket: u64,
+        engine: &EngineSnapshot,
+        key: MechKey,
         canonical: f64,
         epoch: u64,
     ) -> Option<(Arc<Mechanism>, Served)> {
@@ -381,9 +543,9 @@ impl CoreShared {
         let mut shed = !admitted;
         if admitted && t.blackout_epoch == Some(epoch) {
             // An injected blackout fails the miss without a solve
-            // attempt; the breaker hears about it once per bucket per
+            // attempt; the breaker hears about it once per key per
             // epoch, mirroring the batch path's accounting.
-            if t.blackout_accounted.insert(bucket) {
+            if t.blackout_accounted.insert(key) {
                 let obs = vlp_obs::global();
                 obs.incr(metrics::SOLVE_ERRORS, 1);
                 if t.breaker
@@ -394,21 +556,21 @@ impl CoreShared {
             }
             shed = true;
         } else if admitted {
-            if t.inflight.contains(&bucket) {
-                // A solve for this bucket is already queued or running.
+            if t.inflight.contains(&key) {
+                // A solve for this key is already queued or running.
                 t.stats.coalesced += 1;
                 solve_pending = true;
             } else {
                 self.inflight_add();
                 let job = SolveJob {
-                    bucket,
+                    key,
                     epsilon: canonical,
                     epoch,
                     reply: None,
                 };
                 match shard.sender().map(|tx| tx.try_send(job)) {
                     Some(Ok(())) => {
-                        t.inflight.insert(bucket);
+                        t.inflight.insert(key);
                         t.stats.enqueued += 1;
                         solve_pending = true;
                     }
@@ -429,15 +591,12 @@ impl CoreShared {
             // Warming: the optimum is on its way; hold the line with
             // the fallback floor at the same canonical ε (rung 4).
             t.stats.served_fallback += 1;
-            return Some((
-                t.fallback_entry(instance, bucket, canonical),
-                Served::Fallback,
-            ));
+            return Some((t.fallback_entry(engine, key, canonical), Served::Fallback));
         }
         // Shed: rung 3 (stale) if available, else a *prebuilt* fallback.
         // Nothing is constructed under backpressure — a cold shed key is
         // rejected outright, which is the explicit-backpressure contract.
-        if let Some((entry, demoted)) = t.stale.get(&bucket) {
+        if let Some((entry, demoted)) = t.stale.get(&key) {
             t.stats.served_stale += 1;
             t.stats.degraded += 1;
             let age = epoch.saturating_sub(*demoted);
@@ -446,7 +605,7 @@ impl CoreShared {
                 Served::Stale { age_batches: age },
             ));
         }
-        if let Some(m) = t.fallbacks.get(&bucket) {
+        if let Some(m) = t.fallbacks.get(&key) {
             t.stats.served_fallback += 1;
             t.stats.degraded += 1;
             return Some((Arc::clone(m), Served::Fallback));
@@ -460,13 +619,13 @@ impl CoreShared {
     pub(crate) fn enqueue_batch(
         &self,
         s: usize,
-        bucket: u64,
+        key: MechKey,
         epsilon: f64,
         epoch: u64,
-        reply: mpsc::Sender<((usize, u64), MissOutcome)>,
+        reply: mpsc::Sender<((usize, MechKey), MissOutcome)>,
     ) -> bool {
         let job = SolveJob {
-            bucket,
+            key,
             epsilon,
             epoch,
             reply: Some(reply),
@@ -530,11 +689,19 @@ impl CoreShared {
     /// the stale store when they land (generation check).
     pub(crate) fn set_worker_prior(&self, s: usize, f_p: Prior) {
         let shard = &self.shards[s];
-        {
-            let mut slot = shard.instance.write().unwrap_or_else(|p| p.into_inner());
-            let mut inst = (**slot).clone();
-            inst.set_worker_prior(f_p);
-            *slot = Arc::new(inst);
+        match &shard.engine {
+            ShardEngine::Full(slot) => {
+                let mut slot = slot.write().unwrap_or_else(|p| p.into_inner());
+                let mut inst = (**slot).clone();
+                inst.set_worker_prior(f_p);
+                *slot = Arc::new(inst);
+            }
+            ShardEngine::Local(slot) => {
+                let mut slot = slot.write().unwrap_or_else(|p| p.into_inner());
+                let mut sh = (**slot).clone();
+                sh.set_worker_prior(f_p);
+                *slot = Arc::new(sh);
+            }
         }
         let epoch = self.epoch.load(Ordering::Relaxed);
         let stale_capacity = self.config.resilience.stale_capacity;
@@ -557,12 +724,12 @@ impl CoreShared {
     fn run_solve(&self, s: usize, job: &SolveJob) -> (MissOutcome, u64) {
         let shard = &self.shards[s];
         let gen = lock(&shard.table).instance_gen;
-        let instance = shard.instance();
+        let engine = shard.engine();
         let chaos_on = !self.chaos.is_empty();
         let res = &self.config.resilience;
         let base_ns = res.backoff_base.as_nanos() as u64;
         let cap_ns = res.backoff_cap.as_nanos() as u64;
-        let key = (s, job.bucket);
+        let key = (s, job.key);
         let started = Instant::now();
         let mut retries = 0u32;
         let mut panics = 0u32;
@@ -585,14 +752,11 @@ impl CoreShared {
                 failpoint::activate(Arc::clone(&self.chaos), solve_key(job.epoch, key, attempt))
             });
             let result = catch_unwind(AssertUnwindSafe(|| {
-                instance.solve(job.epsilon, self.config.radius, &self.config.cg)
+                engine.solve(job.key, job.epsilon, self.config.radius, &self.config.cg)
             }));
             match result {
                 Ok(Ok(sv)) => {
-                    solved = Some(CachedSolve {
-                        mechanism: Arc::new(sv.mechanism),
-                        quality_loss: sv.quality_loss,
-                    });
+                    solved = Some(sv);
                     break;
                 }
                 Ok(Err(_)) => {}
@@ -609,16 +773,17 @@ impl CoreShared {
     /// Applies an open-loop solve outcome to the shard table: cache on
     /// success (demoting any eviction and any superseded-generation
     /// solve), breaker accounting on failure.
-    fn publish(&self, s: usize, bucket: u64, gen: u64, outcome: MissOutcome) {
+    fn publish(&self, s: usize, key: MechKey, gen: u64, outcome: MissOutcome) {
         let obs = vlp_obs::global();
         let res = &self.config.resilience;
         let epoch = self.epoch.load(Ordering::Relaxed);
         let shard = &self.shards[s];
         let mut t = lock(&shard.table);
-        t.inflight.remove(&bucket);
+        t.inflight.remove(&key);
         match outcome {
             MissOutcome::Solved(solve, elapsed, retries, panics) => {
                 obs.record_duration(metrics::SOLVE_TIME, elapsed);
+                metrics::record_solve_stats(obs, &solve.stats, self.config.local.is_some());
                 if retries > 0 {
                     obs.incr(metrics::RETRY_ATTEMPTS, u64::from(retries));
                 }
@@ -629,16 +794,16 @@ impl CoreShared {
                     obs.incr(metrics::BREAKER_RECLOSED, 1);
                 }
                 if gen == t.instance_gen {
-                    if let Some((evicted_bucket, evicted)) = t.cache.insert(bucket, solve) {
+                    if let Some((evicted_key, evicted)) = t.cache.insert(key, solve) {
                         obs.incr(metrics::CACHE_EVICTIONS, 1);
-                        t.demote(res.stale_capacity, evicted_bucket, evicted, epoch);
+                        t.demote(res.stale_capacity, evicted_key, evicted, epoch);
                     }
                     // A fresh optimum supersedes any stale copy.
-                    t.stale.remove(&bucket);
+                    t.stale.remove(&key);
                 } else {
                     // Solved under a superseded prior: privacy-equal,
                     // quality-stale — demote instead of caching fresh.
-                    t.demote(res.stale_capacity, bucket, solve, epoch);
+                    t.demote(res.stale_capacity, key, solve, epoch);
                 }
             }
             MissOutcome::Failed(elapsed, retries, panics) => {
@@ -680,9 +845,9 @@ fn worker_loop(shared: Arc<CoreShared>, s: usize, rx: Arc<Mutex<Receiver<SolveJo
                 // deterministic key order; a dropped receiver means the
                 // batch gave up waiting, which cannot happen (it drains
                 // exactly the jobs it enqueued).
-                let _ = tx.send(((s, job.bucket), outcome));
+                let _ = tx.send(((s, job.key), outcome));
             }
-            None => shared.publish(s, job.bucket, gen, outcome),
+            None => shared.publish(s, job.key, gen, outcome),
         }
         shared.note_done(s);
     }
@@ -716,26 +881,52 @@ impl ServingCore {
             config.resilience.stale_capacity > 0,
             "stale capacity must be positive"
         );
+        if let Some(local) = &config.local {
+            assert!(local.rho > 0.0, "assignment radius rho must be positive");
+            assert!(
+                local.rho.is_infinite() || config.radius.is_finite(),
+                "locally-relevant mode with a finite rho requires a finite \
+                 protection radius (the support of a neighborhood is its \
+                 rho + radius ball)"
+            );
+        }
         let partition = Partition::by_bands(&graph, config.n_shards);
         let chaos = Arc::new(config.chaos.clone());
         let mut receivers = Vec::new();
+        let mut neighborhoods = 0u64;
         let shards: Vec<ShardRuntime> = partition
             .shards()
             .iter()
             .map(|s| {
                 let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
                 receivers.push(Arc::new(Mutex::new(rx)));
-                ShardRuntime {
-                    instance: RwLock::new(Arc::new(VlpInstance::uniform(
+                let engine = match &config.local {
+                    None => ShardEngine::Full(RwLock::new(Arc::new(VlpInstance::uniform(
                         s.graph().clone(),
                         config.delta,
-                    ))),
+                    )))),
+                    Some(local) => {
+                        let shard = LocalShard::uniform(
+                            s.graph().clone(),
+                            config.delta,
+                            local.rho,
+                            config.radius,
+                        );
+                        neighborhoods += shard.plan().neighborhood_count() as u64;
+                        ShardEngine::Local(RwLock::new(Arc::new(shard)))
+                    }
+                };
+                ShardRuntime {
+                    engine,
                     table: Mutex::new(ShardTable::new(&config)),
                     sender: Mutex::new(Some(tx)),
                     drained: AtomicU64::new(0),
                 }
             })
             .collect();
+        if config.local.is_some() {
+            vlp_obs::global().incr(metrics::LOCAL_NEIGHBORHOODS, neighborhoods);
+        }
         let shared = Arc::new(CoreShared {
             partition,
             shards,

@@ -113,6 +113,36 @@ impl Breaker {
     }
 }
 
+/// One shard-local mechanism cache key. In full-shard mode `nb` is
+/// always `0`; in locally-relevant mode it is the canonical
+/// neighborhood id from the shard's `LocalityPlan`, so nearby vehicles
+/// assigned to the same ρ-net center share one entry per ε-bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct MechKey {
+    /// Canonical neighborhood id (`0` in full-shard mode).
+    pub(crate) nb: u32,
+    /// ε-bucket (rounded-down canonical budget index).
+    pub(crate) bucket: u64,
+}
+
+impl MechKey {
+    /// The full-shard key for an ε-bucket.
+    pub(crate) fn full(bucket: u64) -> Self {
+        Self { nb: 0, bucket }
+    }
+}
+
+/// Per-solve LP shape, recorded so the `O(K²) → O(k²)` claim is
+/// measurable from telemetry and bench artifacts rather than asserted:
+/// the support size `k`, the LP variable count (`k²`), and the
+/// instantiated inequality-row count of the solved constraint set.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SolveStats {
+    pub(crate) support: u64,
+    pub(crate) lp_vars: u64,
+    pub(crate) lp_rows: u64,
+}
+
 /// A mechanism held in the service cache. The mechanism is shared by
 /// `Arc` so the caller path serves a cache hit by bumping a refcount,
 /// never by copying the obfuscation matrix.
@@ -120,6 +150,7 @@ impl Breaker {
 pub(crate) struct CachedSolve {
     pub(crate) mechanism: Arc<Mechanism>,
     pub(crate) quality_loss: f64,
+    pub(crate) stats: SolveStats,
 }
 
 /// What happened to one distinct cache-miss `(shard, ε-bucket)` key.
@@ -133,24 +164,29 @@ pub(crate) enum MissOutcome {
 }
 
 /// The failpoint evaluation key for one solve attempt: a pure mix of
-/// `(epoch, shard, ε-bucket, attempt)`, so fault schedules are
-/// independent of how solves are distributed over worker threads.
-pub(crate) fn solve_key(epoch: u64, key: (usize, u64), attempt: u32) -> u64 {
+/// `(epoch, shard, neighborhood, ε-bucket, attempt)`, so fault
+/// schedules are independent of how solves are distributed over worker
+/// threads. The neighborhood term is zero in full-shard mode, keeping
+/// committed full-mode fault schedules byte-stable across the
+/// locally-relevant refactor.
+pub(crate) fn solve_key(epoch: u64, key: (usize, MechKey), attempt: u32) -> u64 {
     epoch
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((key.0 as u64).rotate_left(40))
-        .wrapping_add(key.1.rotate_left(20))
+        .wrapping_add(key.1.bucket.rotate_left(20))
+        .wrapping_add(u64::from(key.1.nb).rotate_left(52))
         .wrapping_add(u64::from(attempt))
 }
 
-/// A minimal LRU map over ε-bucket keys (one cache per shard): recency
-/// is a monotonic tick; eviction scans for the minimum (capacities are
-/// small, and the scan is deterministic because ticks are unique).
+/// A minimal LRU map over `(neighborhood, ε-bucket)` keys (one cache
+/// per shard): recency is a monotonic tick; eviction scans for the
+/// minimum (capacities are small, and the scan is deterministic because
+/// ticks are unique).
 #[derive(Debug)]
 pub(crate) struct LruCache {
     capacity: usize,
     tick: u64,
-    pub(crate) map: HashMap<u64, (CachedSolve, u64)>,
+    pub(crate) map: HashMap<MechKey, (CachedSolve, u64)>,
 }
 
 impl LruCache {
@@ -162,18 +198,18 @@ impl LruCache {
         }
     }
 
-    pub(crate) fn contains(&self, bucket: u64) -> bool {
-        self.map.contains_key(&bucket)
+    pub(crate) fn contains(&self, key: MechKey) -> bool {
+        self.map.contains_key(&key)
     }
 
     pub(crate) fn len(&self) -> usize {
         self.map.len()
     }
 
-    pub(crate) fn get(&mut self, bucket: u64) -> Option<&CachedSolve> {
+    pub(crate) fn get(&mut self, key: MechKey) -> Option<&CachedSolve> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(&bucket).map(|entry| {
+        self.map.get_mut(&key).map(|entry| {
             entry.1 = tick;
             &entry.0
         })
@@ -182,10 +218,14 @@ impl LruCache {
     /// Inserts (or refreshes) an entry; returns the entry evicted to
     /// make room, if any, so the caller can demote it to the stale
     /// store instead of losing it.
-    pub(crate) fn insert(&mut self, bucket: u64, value: CachedSolve) -> Option<(u64, CachedSolve)> {
+    pub(crate) fn insert(
+        &mut self,
+        key: MechKey,
+        value: CachedSolve,
+    ) -> Option<(MechKey, CachedSolve)> {
         self.tick += 1;
         let mut evicted = None;
-        if !self.map.contains_key(&bucket) && self.map.len() >= self.capacity {
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
                 .iter()
@@ -196,14 +236,14 @@ impl LruCache {
                 evicted = Some((oldest, entry));
             }
         }
-        self.map.insert(bucket, (value, self.tick));
+        self.map.insert(key, (value, self.tick));
         evicted
     }
 
     /// Removes every entry (a prior invalidation or an evict storm)
-    /// and returns them in bucket order for demotion.
-    pub(crate) fn drain_all(&mut self) -> Vec<(u64, CachedSolve)> {
-        let mut keys: Vec<u64> = self.map.keys().copied().collect();
+    /// and returns them in key order for demotion.
+    pub(crate) fn drain_all(&mut self) -> Vec<(MechKey, CachedSolve)> {
+        let mut keys: Vec<MechKey> = self.map.keys().copied().collect();
         keys.sort_unstable();
         keys.into_iter()
             .map(|k| {

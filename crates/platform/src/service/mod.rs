@@ -97,7 +97,7 @@ use std::time::Duration;
 
 use rand::RngExt;
 use roadnet::{Location, Partition, RoadGraph};
-use vlp_core::{CgOptions, Mechanism, Prior, VlpInstance};
+use vlp_core::{CgOptions, LocalShard, Mechanism, Prior, VlpInstance};
 use vlp_obs::failpoint::{site, FaultPlan};
 
 use crate::server::assign_snapshot;
@@ -106,8 +106,8 @@ use crate::{SnapshotOutcome, Task, TaskId, WorkerId};
 pub(crate) mod core;
 mod ladder;
 
-use core::{lock, CoreShared, ServingCore};
-use ladder::{CachedSolve, MissOutcome};
+use core::{lock, CoreShared, EngineSnapshot, ServingCore};
+use ladder::{CachedSolve, MechKey, MissOutcome};
 
 pub use core::ShutdownReport;
 pub use ladder::BreakerState;
@@ -185,6 +185,38 @@ pub mod metrics {
     /// Counter: open-loop requests shed but served degraded (stale or
     /// previously built fallback).
     pub const SHED_DEGRADED: &str = "service.shed.degraded";
+    /// Counter: cumulative LP support size `k` over completed solves.
+    /// Divided by the solve count this is the mean support — `K` in
+    /// full-shard mode, the (much smaller) neighborhood size in
+    /// locally-relevant mode.
+    pub const SOLVE_SUPPORT: &str = "service.solve.support";
+    /// Counter: cumulative LP variable count (`k²`) over completed
+    /// solves — the measurable form of the `O(K²) → O(k²)` claim.
+    pub const SOLVE_LP_VARS: &str = "service.solve.lp_vars";
+    /// Counter: cumulative instantiated Geo-I inequality rows over
+    /// completed solves.
+    pub const SOLVE_LP_ROWS: &str = "service.solve.lp_rows";
+    /// Counter: ρ-net neighborhoods planned across all shards at boot
+    /// (locally-relevant mode only).
+    pub const LOCAL_NEIGHBORHOODS: &str = "service.local.neighborhoods";
+    /// Counter: solves completed by the locally-relevant engine.
+    pub const LOCAL_SOLVES: &str = "service.local.solves";
+
+    /// Records one completed solve's LP shape into the cumulative
+    /// counters (cumulative sums are commutative, so the totals are
+    /// deterministic whatever order worker threads publish in).
+    pub(crate) fn record_solve_stats(
+        obs: &vlp_obs::Registry,
+        stats: &super::ladder::SolveStats,
+        local: bool,
+    ) {
+        obs.incr(SOLVE_SUPPORT, stats.support);
+        obs.incr(SOLVE_LP_VARS, stats.lp_vars);
+        obs.incr(SOLVE_LP_ROWS, stats.lp_rows);
+        if local {
+            obs.incr(LOCAL_SOLVES, 1);
+        }
+    }
 
     /// Series name recording shard `s`'s breaker state once per epoch:
     /// `0` closed, `1` half-open, `2` open. Part of the service's
@@ -237,6 +269,16 @@ pub struct ServiceConfig {
     /// Retry, breaker, and stale-store tuning for the resilience
     /// ladder (see the [module docs](self)).
     pub resilience: ResilienceConfig,
+    /// Opt-in locally-relevant solve mode. `None` (the default) keeps
+    /// the classic full-shard engine: one `O(K²)` LP per
+    /// `(shard, ε-bucket)`. `Some` restricts every solve to the ρ-net
+    /// neighborhood covering the reporting vehicle — an `O(k²)` LP over
+    /// the `k ≪ K` intervals within road-network reach — making solve
+    /// cost independent of map size (see `ARCHITECTURE.md`,
+    /// "Locally-relevant solving"). With [`LocalConfig::rho`] `= ∞` the
+    /// mode degenerates to a single whole-shard neighborhood and is
+    /// bit-identical to the full engine.
+    pub local: Option<LocalConfig>,
     /// Deterministic fault-injection schedule. The default (empty)
     /// plan injects nothing and leaves every ladder rung inert; chaos
     /// harnesses like `bench_chaos` script solver faults, shard
@@ -257,9 +299,28 @@ impl Default for ServiceConfig {
             solve_deadline: Duration::from_millis(200),
             solver_threads: 2,
             resilience: ResilienceConfig::default(),
+            local: None,
             chaos: FaultPlan::default(),
         }
     }
+}
+
+/// Tuning for the locally-relevant solve mode
+/// ([`ServiceConfig::local`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalConfig {
+    /// Assignment radius ρ of the ρ-net neighborhood plan, km of
+    /// road-network distance. Every interval is assigned to a net
+    /// center within ρ; the neighborhood's support is the center's
+    /// `ρ + radius` ball, so each served vehicle's whole protection
+    /// ball is inside the support (the locality theorem). Smaller ρ
+    /// means smaller LPs but more neighborhoods (more cache keys,
+    /// more cold-start fallback serving); `∞` means one whole-shard
+    /// neighborhood, bit-identical to the full engine.
+    ///
+    /// A finite ρ requires a finite [`ServiceConfig::radius`] —
+    /// otherwise every support would be the whole shard anyway.
+    pub rho: f64,
 }
 
 /// Tuning for the resilience ladder: bounded retry (rung 1), the
@@ -517,9 +578,24 @@ impl MechanismService {
     ///
     /// # Panics
     ///
-    /// Panics if `s` is out of range.
+    /// Panics if `s` is out of range, or if the service runs in
+    /// locally-relevant mode — that mode never materializes an `O(K²)`
+    /// instance; use [`MechanismService::local_shard`] instead.
     pub fn shard_instance(&self, s: usize) -> Arc<VlpInstance> {
         self.core.shared.shards[s].instance()
+    }
+
+    /// A snapshot of shard `s`'s locally-relevant engine, when
+    /// [`ServiceConfig::local`] is set — the neighborhood plan,
+    /// per-neighborhood supports, and audit specs
+    /// ([`LocalShard::audit_spec`]) live here. `None` in full-shard
+    /// mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn local_shard(&self, s: usize) -> Option<Arc<LocalShard>> {
+        self.core.shared.shards[s].local_shard()
     }
 
     /// Number of solved mechanisms currently cached across shards.
@@ -534,36 +610,40 @@ impl MechanismService {
 
     /// The quality loss (ETDD) of the cached optimal mechanism for
     /// shard `s` at `epsilon`'s bucket, if one is cached. Does not
-    /// touch LRU recency.
+    /// touch LRU recency. In locally-relevant mode this addresses
+    /// neighborhood `0`'s entry; use [`MechanismService::live_mechanisms_keyed`]
+    /// for the full keyed view.
     pub fn cached_quality_loss(&self, s: usize, epsilon: f64) -> Option<f64> {
         let (bucket, _) = self.core.shared.bucket(epsilon);
         lock(&self.core.shared.shards[s].table)
             .cache
             .map
-            .get(&bucket)
+            .get(&MechKey::full(bucket))
             .map(|entry| entry.0.quality_loss)
     }
 
     /// The cached optimal mechanism for shard `s` at `epsilon`'s
     /// bucket, if one is cached. Does not touch LRU recency — use for
-    /// auditing (e.g. [`vlp_core::privacy::verify`]), not serving.
+    /// auditing (e.g. [`vlp_core::privacy::verify`]), not serving. In
+    /// locally-relevant mode this addresses neighborhood `0`'s entry.
     pub fn cached_mechanism(&self, s: usize, epsilon: f64) -> Option<Arc<Mechanism>> {
         let (bucket, _) = self.core.shared.bucket(epsilon);
         lock(&self.core.shared.shards[s].table)
             .cache
             .map
-            .get(&bucket)
+            .get(&MechKey::full(bucket))
             .map(|entry| Arc::clone(&entry.0.mechanism))
     }
 
     /// The graph-Laplace fallback mechanism for shard `s` at
     /// `epsilon`'s bucket, if one has been built (fallbacks are built
-    /// lazily, on the first cold serve of their key).
+    /// lazily, on the first cold serve of their key). In
+    /// locally-relevant mode this addresses neighborhood `0`'s entry.
     pub fn fallback_mechanism(&self, s: usize, epsilon: f64) -> Option<Arc<Mechanism>> {
         let (bucket, _) = self.core.shared.bucket(epsilon);
         lock(&self.core.shared.shards[s].table)
             .fallbacks
-            .get(&bucket)
+            .get(&MechKey::full(bucket))
             .map(Arc::clone)
     }
 
@@ -578,12 +658,13 @@ impl MechanismService {
     }
 
     /// The stale mechanism for shard `s` at `epsilon`'s bucket, if one
-    /// is held, with the epoch it was demoted at.
+    /// is held, with the epoch it was demoted at. In locally-relevant
+    /// mode this addresses neighborhood `0`'s entry.
     pub fn stale_mechanism(&self, s: usize, epsilon: f64) -> Option<(Arc<Mechanism>, u64)> {
         let (bucket, _) = self.core.shared.bucket(epsilon);
         lock(&self.core.shared.shards[s].table)
             .stale
-            .get(&bucket)
+            .get(&MechKey::full(bucket))
             .map(|(entry, demoted)| (Arc::clone(&entry.mechanism), *demoted))
     }
 
@@ -637,28 +718,44 @@ impl MechanismService {
     /// `(shard, canonical ε, mechanism)`, in a deterministic order.
     /// Chaos harnesses audit each against full-spec
     /// [`vlp_core::privacy::verify`]: everything servable must satisfy
-    /// ε-Geo-I at its canonical ε, whatever rung it sits on.
+    /// ε-Geo-I at its canonical ε, whatever rung it sits on. In
+    /// locally-relevant mode use
+    /// [`MechanismService::live_mechanisms_keyed`], which also carries
+    /// the neighborhood id the audit spec is built from.
     pub fn live_mechanisms(&self) -> Vec<(usize, f64, Arc<Mechanism>)> {
+        self.live_mechanisms_keyed()
+            .into_iter()
+            .map(|(s, _, eps, m)| (s, eps, m))
+            .collect()
+    }
+
+    /// [`MechanismService::live_mechanisms`] with the full cache key:
+    /// `(shard, neighborhood, canonical ε, mechanism)`, sorted by
+    /// `(shard, neighborhood, ε)`. In full-shard mode every
+    /// neighborhood id is `0`; in locally-relevant mode the
+    /// neighborhood id selects the restricted audit spec
+    /// ([`LocalShard::audit_spec`]) the mechanism must verify against.
+    pub fn live_mechanisms_keyed(&self) -> Vec<(usize, u32, f64, Arc<Mechanism>)> {
         let width = self.core.shared.config.epsilon_bucket;
-        let mut out: Vec<(usize, u64, Arc<Mechanism>)> = Vec::new();
+        let mut out: Vec<(usize, MechKey, Arc<Mechanism>)> = Vec::new();
         for (s, shard) in self.core.shared.shards.iter().enumerate() {
             let t = lock(&shard.table);
             out.extend(
                 t.cache
                     .map
                     .iter()
-                    .map(|(&b, (entry, _))| (s, b, Arc::clone(&entry.mechanism))),
+                    .map(|(&k, (entry, _))| (s, k, Arc::clone(&entry.mechanism))),
             );
             out.extend(
                 t.stale
                     .iter()
-                    .map(|(&b, (entry, _))| (s, b, Arc::clone(&entry.mechanism))),
+                    .map(|(&k, (entry, _))| (s, k, Arc::clone(&entry.mechanism))),
             );
-            out.extend(t.fallbacks.iter().map(|(&b, m)| (s, b, Arc::clone(m))));
+            out.extend(t.fallbacks.iter().map(|(&k, m)| (s, k, Arc::clone(m))));
         }
-        out.sort_by_key(|&(s, b, _)| (s, b));
+        out.sort_by_key(|&(s, k, _)| (s, k));
         out.into_iter()
-            .map(|(s, b, m)| (s, b as f64 * width, m))
+            .map(|(s, k, m)| (s, k.nb, k.bucket as f64 * width, m))
             .collect()
     }
 
@@ -824,18 +921,22 @@ impl MechanismService {
             }
         }
 
-        // Phase A: map requests into shards and classify hit/miss.
+        // Phase A: map requests into shards, locate their intervals
+        // (which fixes the serving neighborhood — always 0 in
+        // full-shard mode), and classify hit/miss.
+        let engines: Vec<EngineSnapshot> = shared.shards.iter().map(|sh| sh.engine()).collect();
         struct Resolved {
             worker: WorkerId,
             shard: usize,
             local: Location,
-            key: (usize, u64),
+            interval: usize,
+            key: (usize, MechKey),
             canonical: f64,
             was_hit: bool,
         }
         let mut resolved: Vec<Resolved> = Vec::with_capacity(requests.len());
-        let mut missing: Vec<((usize, u64), f64)> = Vec::new();
-        let mut missing_seen: HashSet<(usize, u64)> = HashSet::new();
+        let mut missing: Vec<((usize, MechKey), f64)> = Vec::new();
+        let mut missing_seen: HashSet<(usize, MechKey)> = HashSet::new();
         let (mut hits, mut misses) = (0u64, 0u64);
         for &(worker, loc, epsilon) in requests {
             let Some((shard, local)) = shared.partition.to_local(loc) else {
@@ -843,8 +944,17 @@ impl MechanismService {
                 continue;
             };
             let (bucket, canonical) = shared.bucket(epsilon);
-            let key = (shard, bucket);
-            let was_hit = lock(&shared.shards[shard].table).cache.contains(bucket);
+            let interval = engines[shard]
+                .locate(local)
+                .expect("shard-local location lies on the shard");
+            let key = (
+                shard,
+                MechKey {
+                    nb: engines[shard].neighborhood_of(interval),
+                    bucket,
+                },
+            );
+            let was_hit = lock(&shared.shards[shard].table).cache.contains(key.1);
             if was_hit {
                 hits += 1;
             } else {
@@ -857,6 +967,7 @@ impl MechanismService {
                 worker,
                 shard,
                 local,
+                interval,
                 key,
                 canonical,
                 was_hit,
@@ -867,8 +978,8 @@ impl MechanismService {
 
         // Gate misses through the breakers: open shards shed, half-open
         // shards admit one probe, blacked-out shards fail instantly.
-        let mut to_solve: Vec<((usize, u64), f64)> = Vec::new();
-        let mut outcomes: Vec<((usize, u64), MissOutcome)> = Vec::new();
+        let mut to_solve: Vec<((usize, MechKey), f64)> = Vec::new();
+        let mut outcomes: Vec<((usize, MechKey), MissOutcome)> = Vec::new();
         let mut probe_used: HashSet<usize> = HashSet::new();
         for &(key, eps) in &missing {
             let state = lock(&shared.shards[key.0].table).breaker.state;
@@ -902,14 +1013,16 @@ impl MechanismService {
         // not), cache everything that solved, then serve.
         outcomes.sort_by_key(|o| o.0);
         let threshold = shared.config.resilience.breaker_threshold;
-        let mut in_time: HashSet<(usize, u64)> = HashSet::new();
-        let mut fresh: HashMap<(usize, u64), CachedSolve> = HashMap::new();
-        let mut failed_keys: HashSet<(usize, u64)> = HashSet::new();
+        let local_mode = shared.config.local.is_some();
+        let mut in_time: HashSet<(usize, MechKey)> = HashSet::new();
+        let mut fresh: HashMap<(usize, MechKey), CachedSolve> = HashMap::new();
+        let mut failed_keys: HashSet<(usize, MechKey)> = HashSet::new();
         for (key, outcome) in outcomes {
             let mut t = lock(&shared.shards[key.0].table);
             match outcome {
                 MissOutcome::Solved(solve, elapsed, retries, panics) => {
                     obs.record_duration(metrics::SOLVE_TIME, elapsed);
+                    metrics::record_solve_stats(obs, &solve.stats, local_mode);
                     if retries > 0 {
                         obs.incr(metrics::RETRY_ATTEMPTS, u64::from(retries));
                     }
@@ -961,11 +1074,7 @@ impl MechanismService {
         let mut out = Vec::with_capacity(resolved.len());
         let (mut optimal, mut stale_served, mut fallback) = (0u64, 0u64, 0u64);
         for r in resolved {
-            let instance = shared.shards[r.shard].instance();
-            let i = instance
-                .disc
-                .locate(&instance.graph, r.local)
-                .expect("shard-local location lies on the shard");
+            let engine = &engines[r.shard];
             let (mechanism, served) = {
                 let mut t = lock(&shared.shards[r.shard].table);
                 let optimal_entry = if r.was_hit || in_time.contains(&r.key) {
@@ -997,7 +1106,7 @@ impl MechanismService {
                             },
                         ),
                         None => (
-                            t.fallback_entry(&instance, r.key.1, r.canonical),
+                            t.fallback_entry(engine, r.key.1, r.canonical),
                             Served::Fallback,
                         ),
                     },
@@ -1008,10 +1117,10 @@ impl MechanismService {
                 Served::Stale { .. } => stale_served += 1,
                 Served::Fallback => fallback += 1,
             }
-            let j = mechanism.sample_interval(i, rng);
-            let location = instance
-                .disc
-                .transplant(&instance.graph, r.local, j)
+            let row = engine.local_row(r.key.1.nb, r.interval);
+            let j = engine.global_interval(r.key.1.nb, mechanism.sample_interval(row, rng));
+            let location = engine
+                .transplant(r.local, j)
                 .expect("reported interval lies on the shard");
             out.push(Obfuscation {
                 worker: r.worker,
@@ -1042,7 +1151,9 @@ impl MechanismService {
     ///
     /// # Panics
     ///
-    /// Panics if `s` or `interval` is out of range.
+    /// Panics if `s` or `interval` is out of range, or in
+    /// locally-relevant mode (the assignment subsystem needs the dense
+    /// interval-distance matrix of the full-shard engine).
     pub fn publish_task(&mut self, s: usize, interval: usize) -> TaskId {
         let len = self.shard_instance(s).len();
         assert!(interval < len, "task interval out of range");
@@ -1068,7 +1179,9 @@ impl MechanismService {
     ///
     /// # Panics
     ///
-    /// Panics if `s` is out of range.
+    /// Panics if `s` is out of range, or in locally-relevant mode (the
+    /// assignment subsystem needs the dense interval-distance matrix of
+    /// the full-shard engine).
     pub fn snapshot(&mut self, s: usize, reports: &[(WorkerId, usize)]) -> SnapshotOutcome {
         let instance = self.shard_instance(s);
         let shard = &mut self.tasks[s];
@@ -1197,15 +1310,21 @@ mod tests {
         let entry = || CachedSolve {
             mechanism: Arc::new(Mechanism::uniform(2)),
             quality_loss: 0.0,
+            stats: ladder::SolveStats {
+                support: 2,
+                lp_vars: 4,
+                lp_rows: 0,
+            },
         };
-        assert!(cache.insert(1, entry()).is_none());
-        assert!(cache.insert(2, entry()).is_none());
-        assert!(cache.get(1).is_some()); // bump bucket 1
-        let evicted = cache.insert(3, entry()); // evicts bucket 2
-        assert_eq!(evicted.map(|(bucket, _)| bucket), Some(2));
-        assert!(cache.contains(1));
-        assert!(!cache.contains(2));
-        assert!(cache.contains(3));
+        let key = MechKey::full;
+        assert!(cache.insert(key(1), entry()).is_none());
+        assert!(cache.insert(key(2), entry()).is_none());
+        assert!(cache.get(key(1)).is_some()); // bump bucket 1
+        let evicted = cache.insert(key(3), entry()); // evicts bucket 2
+        assert_eq!(evicted.map(|(k, _)| k), Some(key(2)));
+        assert!(cache.contains(key(1)));
+        assert!(!cache.contains(key(2)));
+        assert!(cache.contains(key(3)));
     }
 
     #[test]
@@ -1655,5 +1774,170 @@ mod tests {
         assert!(out
             .iter()
             .all(|o| o.served == Served::Optimal { cached: true }));
+    }
+
+    fn local_service(rho: f64, radius: f64, deadline: Duration) -> MechanismService {
+        MechanismService::new(
+            generators::grid(3, 4, 0.4, true),
+            ServiceConfig {
+                n_shards: 2,
+                delta: 0.2,
+                radius,
+                solve_deadline: deadline,
+                local: Some(LocalConfig { rho }),
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// The `(shard, neighborhood)` key a request routes to, recomputed
+    /// from the public local-mode accessors.
+    fn route(svc: &MechanismService, loc: Location) -> (usize, u32) {
+        let (s, local) = svc.partition().to_local(loc).unwrap();
+        let shard = svc.local_shard(s).expect("local mode");
+        let i = shard.disc().locate(shard.graph(), local).unwrap();
+        (s, shard.neighborhood_of(i))
+    }
+
+    /// Locally-relevant mode with ρ = ∞ degenerates to one whole-shard
+    /// neighborhood and must reproduce the full-shard engine bit for
+    /// bit — same provenance, same sampled intervals, same locations,
+    /// batch after batch.
+    #[test]
+    fn local_mode_with_infinite_rho_matches_full_mode_bit_for_bit() {
+        let mk = |local: Option<LocalConfig>| {
+            MechanismService::new(
+                generators::grid(3, 4, 0.4, true),
+                ServiceConfig {
+                    n_shards: 2,
+                    delta: 0.2,
+                    solve_deadline: Duration::ZERO,
+                    local,
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+        let mut full = mk(None);
+        let mut local = mk(Some(LocalConfig { rho: f64::INFINITY }));
+        let mut rng_full = rand::rngs::StdRng::seed_from_u64(47);
+        let mut rng_local = rand::rngs::StdRng::seed_from_u64(47);
+        let mut reqs = requests(&full, 5.0);
+        let extra: Vec<_> = reqs.iter().map(|&(w, l, _)| (w, l, 7.5)).collect();
+        reqs.extend(extra);
+        for _ in 0..3 {
+            let out_full = full.obfuscate_batch(&reqs, &mut rng_full);
+            let out_local = local.obfuscate_batch(&reqs, &mut rng_local);
+            assert_eq!(out_full, out_local);
+        }
+        assert_eq!(full.cached_mechanisms(), local.cached_mechanisms());
+        for s in 0..full.shard_count() {
+            let plan_len = local.local_shard(s).unwrap().plan().neighborhood_count();
+            assert_eq!(plan_len, 1, "infinite rho is one whole-shard neighborhood");
+        }
+    }
+
+    /// Finite-radius local mode: every request is served a mechanism
+    /// whose support covers its neighborhood, every live mechanism
+    /// (optimum and fallback) verifies against its restricted audit
+    /// spec, and the solve-shape telemetry is recorded.
+    #[test]
+    fn local_mode_serves_restricted_mechanisms_that_audit_clean() {
+        let mut svc = local_service(0.4, 0.5, Duration::from_secs(60));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let reqs = requests(&svc, 5.0);
+        let obs = vlp_obs::global();
+        let (vars0, support0) = (
+            obs.counter(metrics::SOLVE_LP_VARS),
+            obs.counter(metrics::SOLVE_SUPPORT),
+        );
+        let out = svc.obfuscate_batch(&reqs, &mut rng);
+        assert_eq!(out.len(), reqs.len());
+        assert!(out
+            .iter()
+            .all(|o| o.served == Served::Optimal { cached: false }));
+        // The reported interval lies in the serving neighborhood's
+        // support (the support-lifted mechanism maps back to global
+        // interval ids).
+        for (o, &(_, loc, _)) in out.iter().zip(&reqs) {
+            let (s, nb) = route(&svc, loc);
+            assert_eq!(s, o.shard);
+            let shard = svc.local_shard(s).unwrap();
+            assert!(
+                shard.members(nb).binary_search(&o.interval).is_ok(),
+                "reported interval {} outside neighborhood {nb}'s support",
+                o.interval
+            );
+        }
+        // Every live mechanism is exactly its neighborhood's size and
+        // passes the unreduced restricted-spec audit.
+        let keyed = svc.live_mechanisms_keyed();
+        assert!(!keyed.is_empty());
+        for (s, nb, eps, mechanism) in keyed {
+            let shard = svc.local_shard(s).unwrap();
+            assert_eq!(mechanism.len(), shard.members(nb).len());
+            let spec = shard.audit_spec(nb, eps);
+            assert!(
+                privacy::verify(&mechanism, &spec, 1e-6),
+                "shard {s} neighborhood {nb} mechanism at ε={eps} must audit clean"
+            );
+        }
+        // LP-shape telemetry was recorded (cumulative counters; other
+        // concurrently running tests can only add to them).
+        assert!(obs.counter(metrics::SOLVE_LP_VARS) > vars0);
+        assert!(obs.counter(metrics::SOLVE_SUPPORT) > support0);
+        assert!(obs.counter(metrics::LOCAL_NEIGHBORHOODS) > 0);
+    }
+
+    /// Cache keys are `(neighborhood, ε-bucket)`: requests routing to
+    /// the same neighborhood share one cached mechanism, and the total
+    /// cache population equals the number of distinct keys touched.
+    #[test]
+    fn local_mode_shares_cache_entries_per_neighborhood() {
+        let mut svc = local_service(0.4, 0.5, Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+        // Two co-located vehicles per shard: same neighborhood, same
+        // bucket (5.0 and 5.2 round to one bucket) — one entry each.
+        let mut reqs = requests(&svc, 5.0);
+        let extra: Vec<_> = reqs.iter().map(|&(w, l, _)| (w, l, 5.2)).collect();
+        reqs.extend(extra);
+        let _ = svc.obfuscate_batch(&reqs, &mut rng);
+        let distinct: HashSet<(usize, u32)> =
+            reqs.iter().map(|&(_, loc, _)| route(&svc, loc)).collect();
+        assert_eq!(svc.cached_mechanisms(), distinct.len());
+        let warm = svc.obfuscate_batch(&reqs, &mut rng);
+        assert!(warm
+            .iter()
+            .all(|o| o.served == Served::Optimal { cached: true }));
+    }
+
+    /// Cold keys in local mode serve the *restricted* graph-Laplace
+    /// fallback — sized to the neighborhood, not the shard — while the
+    /// optimum is in flight.
+    #[test]
+    fn local_mode_cold_keys_serve_the_restricted_fallback() {
+        let mut svc = local_service(0.4, 0.5, Duration::ZERO);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let reqs = requests(&svc, 5.0);
+        let out = svc.obfuscate_batch(&reqs, &mut rng);
+        assert!(out.iter().all(|o| o.served == Served::Fallback));
+        for &(_, loc, eps) in &reqs {
+            let (s, nb) = route(&svc, loc);
+            let shard = svc.local_shard(s).unwrap();
+            let k = shard.members(nb).len();
+            assert!(
+                k < shard.len(),
+                "this map/radius must produce a strict restriction"
+            );
+            if nb == 0 {
+                let fallback = svc.fallback_mechanism(s, eps).expect("fallback built");
+                assert_eq!(fallback.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a finite")]
+    fn local_mode_rejects_finite_rho_with_infinite_radius() {
+        let _ = local_service(0.4, f64::INFINITY, Duration::ZERO);
     }
 }

@@ -9,9 +9,24 @@
 //! * **C2** — same segment and `p` behind `q` (`x_p ≥ x_q`): the vehicle
 //!   drives straight down the segment (Eq. 10).
 
-use crate::graph::RoadGraph;
+use crate::graph::{NodeId, RoadGraph};
 use crate::location::Location;
 use crate::shortest_path::NodeDistances;
+
+/// A source of node-to-node travel distances, so [`travel_distance_via`]
+/// can run against either the dense all-pairs matrix or a sparse
+/// (per-neighborhood) distance table.
+pub trait NodeMetric {
+    /// Travel distance from connection `s` to connection `t`
+    /// (`f64::INFINITY` when unreachable).
+    fn node_dist(&self, s: NodeId, t: NodeId) -> f64;
+}
+
+impl NodeMetric for NodeDistances {
+    fn node_dist(&self, s: NodeId, t: NodeId) -> f64 {
+        self.get(s, t)
+    }
+}
 
 /// Directed shortest traveling distance `d_G(p, q)` from `p` to `q`.
 ///
@@ -29,6 +44,19 @@ use crate::shortest_path::NodeDistances;
 /// assert_eq!(distance::travel_distance(&g, &d, p, p), 0.0);
 /// ```
 pub fn travel_distance(graph: &RoadGraph, dists: &NodeDistances, p: Location, q: Location) -> f64 {
+    travel_distance_via(graph, dists, p, q)
+}
+
+/// [`travel_distance`] generalized over the node-distance source: the
+/// same Eq. 9/10 case split, so any [`NodeMetric`] that agrees with the
+/// all-pairs matrix on the consulted node pair produces bit-identical
+/// results.
+pub fn travel_distance_via<M: NodeMetric>(
+    graph: &RoadGraph,
+    dists: &M,
+    p: Location,
+    q: Location,
+) -> f64 {
     if p.edge() == q.edge() && p.to_end() >= q.to_end() {
         // C2: p is behind q on the same directed segment (Eq. 10).
         return p.to_end() - q.to_end();
@@ -36,7 +64,7 @@ pub fn travel_distance(graph: &RoadGraph, dists: &NodeDistances, p: Location, q:
     // C1 (Eq. 9): p -> end of e(p) -> start of e(q) -> q.
     let ep = graph.edge(p.edge());
     let eq = graph.edge(q.edge());
-    let mid = dists.get(ep.end(), eq.start());
+    let mid = dists.node_dist(ep.end(), eq.start());
     if !mid.is_finite() {
         return f64::INFINITY;
     }

@@ -58,4 +58,6 @@ pub use error::GraphError;
 pub use graph::{Edge, EdgeId, Node, NodeId, RoadGraph, RoadGraphBuilder};
 pub use location::Location;
 pub use partition::{Partition, RegionShard};
-pub use shortest_path::{NodeDistances, ShortestPathTree, TreeDirection};
+pub use shortest_path::{
+    bounded_ball, distances_to_targets, BallMetric, NodeDistances, ShortestPathTree, TreeDirection,
+};

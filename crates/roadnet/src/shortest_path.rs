@@ -230,6 +230,161 @@ impl DijkstraScratch {
     }
 }
 
+/// Which distance a bounded Dijkstra exploration measures.
+///
+/// `Out`/`In` mirror [`TreeDirection`]; `Undirected` treats every
+/// directed edge as traversable both ways at its length, which computes
+/// the *metric closure* `d̂` of the bidirectional distance
+/// `d_min(u, v) = min{d(u→v), d(v→u)}`: any directed path is an
+/// undirected walk (so `d̂ ≤` any chain of `d_min` hops), and every
+/// undirected hop across an edge `u→v` costs at least `d_min(u, v)` (so
+/// chains of `d_min` reach `d̂`). `d̂` is symmetric and satisfies the
+/// triangle inequality even though `d_min` itself does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BallMetric {
+    /// Directed distances from the root (`d_G(root, ·)`).
+    Out,
+    /// Directed distances towards the root (`d_G(·, root)`).
+    In,
+    /// Metric-closure distances `d̂(root, ·)` (see enum docs).
+    Undirected,
+}
+
+/// Relaxes the neighbors of `v` (at distance `d`) under `metric`,
+/// operation-for-operation identical to [`ShortestPathTree::build`] for
+/// `Out`/`In` so settled distances stay bit-identical to full runs.
+fn relax_neighbors(
+    graph: &RoadGraph,
+    metric: BallMetric,
+    v: usize,
+    d: f64,
+    dist: &mut [f64],
+    heap: &mut BinaryHeap<HeapEntry>,
+) {
+    let mut step = |eid: EdgeId, forward: bool| {
+        let e = graph.edge(eid);
+        let w = if forward { e.end().0 } else { e.start().0 };
+        let nd = d + e.length();
+        if nd < dist[w] {
+            dist[w] = nd;
+            heap.push(HeapEntry { dist: nd, node: w });
+        }
+    };
+    match metric {
+        BallMetric::Out => {
+            for &eid in graph.out_edges(NodeId(v)) {
+                step(eid, true);
+            }
+        }
+        BallMetric::In => {
+            for &eid in graph.in_edges(NodeId(v)) {
+                step(eid, false);
+            }
+        }
+        BallMetric::Undirected => {
+            for &eid in graph.out_edges(NodeId(v)) {
+                step(eid, true);
+            }
+            for &eid in graph.in_edges(NodeId(v)) {
+                step(eid, false);
+            }
+        }
+    }
+}
+
+/// Radius-bounded single-source Dijkstra: every node whose distance
+/// from (or to, or metric-closure-from — see [`BallMetric`]) `root` is
+/// at most `radius`, with its exact distance, in settling order
+/// (ascending distance, ties by ascending node id).
+///
+/// The run stops at the first heap pop beyond `radius`, so its cost is
+/// proportional to the ball, not the graph. Settled distances are
+/// bit-identical to an unbounded run over the same metric (the bounded
+/// run performs an exact prefix of the unbounded run's operations);
+/// with `radius = ∞` it settles every reachable node.
+pub fn bounded_ball(
+    graph: &RoadGraph,
+    root: NodeId,
+    radius: f64,
+    metric: BallMetric,
+) -> Vec<(NodeId, f64)> {
+    assert!(radius >= 0.0, "ball radius must be non-negative");
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut ball = Vec::new();
+    dist[root.0] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: root.0,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > radius {
+            break;
+        }
+        if settled[v] {
+            continue;
+        }
+        settled[v] = true;
+        ball.push((NodeId(v), d));
+        relax_neighbors(graph, metric, v, d, &mut dist, &mut heap);
+    }
+    let obs = vlp_obs::global();
+    obs.incr(metrics::DIJKSTRA_RUNS, 1);
+    obs.incr(metrics::SETTLED_NODES, ball.len() as u64);
+    ball
+}
+
+/// Distances from `root` to each of `targets` under `metric`, by a
+/// Dijkstra run that terminates as soon as every target is settled (so
+/// clustered targets cost a ball around them, not a full sweep).
+/// Unreachable targets come back infinite. Settled distances are
+/// bit-identical to an unbounded run (exact operation prefix).
+pub fn distances_to_targets(
+    graph: &RoadGraph,
+    root: NodeId,
+    targets: &[NodeId],
+    metric: BallMetric,
+) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut is_target = vec![false; n];
+    let mut remaining = 0usize;
+    for t in targets {
+        if !is_target[t.0] {
+            is_target[t.0] = true;
+            remaining += 1;
+        }
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut settled_count = 0u64;
+    dist[root.0] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: root.0,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if remaining == 0 {
+            break;
+        }
+        if settled[v] {
+            continue;
+        }
+        settled[v] = true;
+        settled_count += 1;
+        if is_target[v] {
+            remaining -= 1;
+        }
+        relax_neighbors(graph, metric, v, d, &mut dist, &mut heap);
+    }
+    let obs = vlp_obs::global();
+    obs.incr(metrics::DIJKSTRA_RUNS, 1);
+    obs.incr(metrics::SETTLED_NODES, settled_count);
+    targets.iter().map(|t| dist[t.0]).collect()
+}
+
 /// All-pairs node-to-node travel distances (`d_G` restricted to `V`).
 ///
 /// Built by running Dijkstra from every connection; the road graphs in
@@ -444,6 +599,61 @@ mod tests {
         // Lower bounds only: other tests run Dijkstra concurrently.
         assert!(obs.counter(metrics::DIJKSTRA_RUNS) > runs);
         assert!(obs.counter(metrics::SETTLED_NODES) >= settled + 4);
+    }
+
+    #[test]
+    fn bounded_ball_is_a_prefix_of_the_full_run() {
+        let g = ring();
+        let t = ShortestPathTree::build(&g, NodeId(0), TreeDirection::Out);
+        let ball = bounded_ball(&g, NodeId(0), 3.0, BallMetric::Out);
+        // v0 at 0, v1 at 1, v2 at 3; v3 (dist 6) is beyond the radius.
+        assert_eq!(ball.len(), 3);
+        for &(v, d) in &ball {
+            assert_eq!(d.to_bits(), t.distance(v).to_bits());
+        }
+        assert!(ball.iter().all(|&(v, _)| v != NodeId(3)));
+        // Radius ∞ settles everything, in ascending-distance order.
+        let all = bounded_ball(&g, NodeId(0), f64::INFINITY, BallMetric::Out);
+        assert_eq!(all.len(), 4);
+        assert!(all.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn undirected_ball_is_symmetric_metric_closure() {
+        let g = ring();
+        // d̂(v0, v3): the single edge v3->v0 (length 4) beats the
+        // directed route v0->v1->v2->v3 (length 6).
+        let from0 = bounded_ball(&g, NodeId(0), f64::INFINITY, BallMetric::Undirected);
+        let from3 = bounded_ball(&g, NodeId(3), f64::INFINITY, BallMetric::Undirected);
+        let d03 = from0.iter().find(|(v, _)| *v == NodeId(3)).unwrap().1;
+        let d30 = from3.iter().find(|(v, _)| *v == NodeId(0)).unwrap().1;
+        assert_eq!(d03, 4.0);
+        assert_eq!(d03.to_bits(), d30.to_bits());
+    }
+
+    #[test]
+    fn targeted_distances_match_all_pairs() {
+        let g = ring();
+        let m = NodeDistances::all_pairs(&g);
+        let targets = [NodeId(2), NodeId(0), NodeId(2)];
+        for s in 0..4 {
+            let d = distances_to_targets(&g, NodeId(s), &targets, BallMetric::Out);
+            assert_eq!(d.len(), targets.len());
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(d[i].to_bits(), m.get(NodeId(s), t).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_distances_flag_unreachable_targets() {
+        let mut b = RoadGraphBuilder::new();
+        let v0 = b.add_node(0.0, 0.0);
+        let v1 = b.add_node(1.0, 0.0);
+        b.add_edge(v0, v1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let d = distances_to_targets(&g, NodeId(1), &[NodeId(0)], BallMetric::Out);
+        assert!(d[0].is_infinite());
     }
 
     #[test]
