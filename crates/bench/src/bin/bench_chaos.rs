@@ -24,6 +24,13 @@
 //!   an empty fault plan produces exactly the same obfuscations as a
 //!   service with no chaos configured at all: the ladder is inert
 //!   unless faults are injected.
+//! * **Every quality rung serves** — after the blackout recovers, a
+//!   tier-ladder phase walks the per-batch deadline down the quality
+//!   ladder (see [`LADDER`]) with cold ε budgets, and each of the four
+//!   [`QualityTier`] rungs must serve at least one request (checked
+//!   both per-request and via the `service.tier.*.served` counters).
+//!   Everything the ladder leaves cached — clustered and spanner
+//!   mechanisms included — must still pass the batch privacy audit.
 //!
 //! Flags: `--out <path>` (default `artifacts/bench_chaos.json`, or
 //! `artifacts/bench_chaos_local.json` under `--local`) and `--local`,
@@ -36,11 +43,12 @@
 use std::time::{Duration, Instant};
 
 use platform::{
-    service, BreakerState, LocalConfig, MechanismService, Served, ServiceConfig, WorkerId,
+    service, BreakerState, LocalConfig, MechanismService, Served, ServiceConfig, TierPolicy,
+    WorkerId,
 };
 use roadnet::{generators, Location};
 use vlp_bench::scenarios::fleet_locations;
-use vlp_core::privacy;
+use vlp_core::{privacy, QualityTier};
 use vlp_obs::failpoint::FaultPlan;
 
 /// Popular privacy budgets the fleet rotates through (per km).
@@ -84,6 +92,21 @@ const SCHEDULE: &str = "lp.solve.fault=ratio:0.3; lp.resolve.fault=ratio:0.3; \
      cg.pricing.panic=ratio:0.15; service.shard.blackout.1=window:6..12; \
      service.cache.evict_storm=every:6; service.deadline.jitter=every:9";
 
+/// The tier-ladder schedule: per-batch deadline and the rung it must
+/// select under [`service_config`]'s `TierPolicy` floors (exact ≥
+/// 150ms, clustered ≥ 50ms, spanner ≥ 10ms, zero = never-wait
+/// Laplace).
+const LADDER: [(Duration, QualityTier); 4] = [
+    (Duration::from_secs(60), QualityTier::Exact),
+    (Duration::from_millis(80), QualityTier::Clustered),
+    (Duration::from_millis(20), QualityTier::Spanner),
+    (Duration::ZERO, QualityTier::Laplace),
+];
+
+/// Ladder cycles; deadline jitter hits at most one batch in nine, so
+/// three cycles guarantee every rung at least two clean batches.
+const LADDER_CYCLES: usize = 3;
+
 fn service_config(chaos: FaultPlan, local: bool) -> ServiceConfig {
     ServiceConfig {
         n_shards: N_SHARDS,
@@ -94,6 +117,12 @@ fn service_config(chaos: FaultPlan, local: bool) -> ServiceConfig {
         radius: if local { LOCAL_RADIUS } else { f64::INFINITY },
         local: local.then_some(LocalConfig { rho: LOCAL_RHO }),
         chaos,
+        tiers: TierPolicy {
+            exact_floor: Duration::from_millis(150),
+            clustered_floor: Duration::from_millis(50),
+            spanner_floor: Duration::from_millis(10),
+            ..TierPolicy::default()
+        },
         ..ServiceConfig::default()
     }
 }
@@ -108,6 +137,39 @@ fn requests(locations: &[Location]) -> Vec<(WorkerId, Location, f64)> {
             )
         })
         .collect()
+}
+
+/// The privacy gate: everything the service can serve from — cached
+/// optima at any quality tier, stale entries, fallbacks — satisfies
+/// its Geo-I constraint set at its canonical ε. In full mode that is
+/// the whole-shard spec; in locally-relevant mode, each neighborhood's
+/// unreduced restricted spec (full-graph `d_min` exponents over the
+/// neighborhood support). Returns the number of mechanisms audited.
+fn audit_live(svc: &MechanismService, local: bool, when: &str) -> u64 {
+    let mut audited = 0;
+    if local {
+        for (s, nb, eps, mechanism) in svc.live_mechanisms_keyed() {
+            let shard = svc.local_shard(s).expect("service runs in local mode");
+            let spec = shard.audit_spec(nb, eps);
+            assert!(
+                privacy::verify(&mechanism, &spec, 1e-6),
+                "{when}: shard {s} neighborhood {nb} mechanism at ε={eps} \
+                 violates its restricted Geo-I spec"
+            );
+            audited += 1;
+        }
+    } else {
+        for (s, eps, mechanism) in svc.live_mechanisms() {
+            let inst = svc.shard_instance(s);
+            let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
+            assert!(
+                privacy::verify(&mechanism, &spec, 1e-6),
+                "{when}: shard {s} mechanism at ε={eps} violates Geo-I"
+            );
+            audited += 1;
+        }
+    }
+    audited
 }
 
 fn main() {
@@ -180,9 +242,9 @@ fn main() {
     // Chaos phase: the committed schedule, telemetry from a clean slate.
     obs.reset();
     obs.set_run_id(if local {
-        "bench-chaos-local-v1"
+        "bench-chaos-local-v2"
     } else {
-        "bench-chaos-v1"
+        "bench-chaos-v2"
     });
     let total = Instant::now();
     let chaos = FaultPlan::parse(SCHEDULE, CHAOS_SEED).expect("committed schedule parses");
@@ -209,34 +271,7 @@ fn main() {
                 Served::Fallback => served_fallback += 1,
             }
         }
-        // The privacy gate: everything the service can serve from —
-        // cached optima, stale entries, fallbacks — satisfies its Geo-I
-        // constraint set at its canonical ε, even mid-outage. In full
-        // mode that is the whole-shard spec; in locally-relevant mode,
-        // each neighborhood's unreduced restricted spec (full-graph
-        // d_min exponents over the neighborhood support).
-        if local {
-            for (s, nb, eps, mechanism) in svc.live_mechanisms_keyed() {
-                let shard = svc.local_shard(s).expect("service runs in local mode");
-                let spec = shard.audit_spec(nb, eps);
-                assert!(
-                    privacy::verify(&mechanism, &spec, 1e-6),
-                    "batch {batch}: shard {s} neighborhood {nb} mechanism at ε={eps} \
-                     violates its restricted Geo-I spec"
-                );
-                audited += 1;
-            }
-        } else {
-            for (s, eps, mechanism) in svc.live_mechanisms() {
-                let inst = svc.shard_instance(s);
-                let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
-                assert!(
-                    privacy::verify(&mechanism, &spec, 1e-6),
-                    "batch {batch}: shard {s} mechanism at ε={eps} violates Geo-I"
-                );
-                audited += 1;
-            }
-        }
+        audited += audit_live(&svc, local, &format!("batch {batch}"));
     }
     let elapsed = total.elapsed();
 
@@ -291,6 +326,48 @@ fn main() {
         );
     }
 
+    // Tier-ladder phase: with the blackout over and every breaker
+    // closed again, walk the per-batch deadline down the quality
+    // ladder. Every batch requests a cold ε budget (distinct per
+    // batch, disjoint from EPSILONS) so serving cannot hit a warmer
+    // tier's cache — the batch must come out at exactly the rung its
+    // deadline selects. Chaos stays armed: scheduled jitter or an
+    // exhausted retry budget can collapse individual batches to the
+    // fallback, which is why the gate is "each rung served at least
+    // once over the cycles", not "every request at the target rung".
+    let mut ladder_served = [0u64; 4];
+    for cycle in 0..LADDER_CYCLES {
+        for (step, (deadline, want)) in LADDER.into_iter().enumerate() {
+            let eps = 11.0 + (cycle * LADDER.len() + step) as f64 * 0.5;
+            let ladder_reqs: Vec<(WorkerId, Location, f64)> = (0..FLEET)
+                .map(|w| (WorkerId(w), locations[w % locations.len()], eps))
+                .collect();
+            let served = svc.obfuscate_batch_with_deadline(&ladder_reqs, deadline, &mut rng);
+            assert_eq!(served.len(), ladder_reqs.len());
+            requests_total += served.len() as u64;
+            ladder_served[want as usize] += served.iter().filter(|o| o.tier == want).count() as u64;
+        }
+    }
+    for (tier, served) in QualityTier::ALL.into_iter().zip(ladder_served) {
+        assert!(
+            served > 0,
+            "the {} rung never served during the tier-ladder phase",
+            tier.label()
+        );
+        assert!(
+            obs.counter(service::metrics::tier_served_metric(tier)) > 0,
+            "{} never counted",
+            service::metrics::tier_served_metric(tier)
+        );
+        obs.push(
+            &format!("bench_chaos.tier.{}.served", tier.label()),
+            served as f64,
+        );
+    }
+    // The ladder's leftovers — clustered and spanner mechanisms in the
+    // cache included — pass the same privacy audit as every batch.
+    audited += audit_live(&svc, local, "after the tier ladder");
+
     let denom = (served_optimal + served_stale + served_fallback) as f64;
     obs.push("bench_chaos.optimal_share", served_optimal as f64 / denom);
     obs.push("bench_chaos.stale_share", served_stale as f64 / denom);
@@ -322,6 +399,8 @@ fn main() {
         "bench_chaos: OK ({mode}) — {requests_total} requests over {BATCHES} batches under \
          `{SCHEDULE}`; served {served_optimal} optimal / {served_stale} stale / \
          {served_fallback} fallback, {audited} mechanism audits all ε-valid, breaker re-closed \
-         {recovery} batch(es) after the blackout → {out}",
+         {recovery} batch(es) after the blackout; ladder served \
+         {}/{}/{}/{} exact/clustered/spanner/laplace → {out}",
+        ladder_served[0], ladder_served[1], ladder_served[2], ladder_served[3]
     );
 }

@@ -14,7 +14,13 @@
 //! * cache hit rate ≥ [`HIT_RATE_FLOOR`] across the workload;
 //! * every served mechanism — cached optimum and fallback alike —
 //!   passes `privacy::verify` against the *full* Geo-I constraint set
-//!   at its canonical ε.
+//!   at its canonical ε;
+//! * the quality ladder is ordered: solving shard 0 at every rung,
+//!   ETDD satisfies exact ≤ clustered ≤ spanner ≤ graph-Laplace, and
+//!   every rung's mechanism passes the full-spec privacy audit. The
+//!   measured per-tier ETDD lands in the artifact as
+//!   `bench_service.tier.etdd.<tier>` (plus the ratio against the
+//!   exact optimum as `bench_service.tier.etdd_vs_optimal.<tier>`).
 //!
 //! Flags: `--out <path>` (default `artifacts/bench_service.json`),
 //! `--batches <n>`, `--fleet <n>`.
@@ -24,7 +30,7 @@ use std::time::{Duration, Instant};
 use platform::{service, MechanismService, Served, ServiceConfig, WorkerId};
 use roadnet::{generators, Location};
 use vlp_bench::scenarios::fleet_locations;
-use vlp_core::privacy;
+use vlp_core::{privacy, CgOptions, QualityTier};
 
 /// Popular privacy budgets the fleet rotates through (per km).
 const EPSILONS: [f64; 3] = [2.0, 5.0, 10.0];
@@ -34,6 +40,20 @@ const N_SHARDS: usize = 4;
 
 /// Minimum acceptable cache hit rate on the repeated-ε workload.
 const HIT_RATE_FLOOR: f64 = 0.90;
+
+/// Super-interval width (km) used for the clustered rung of the tier
+/// sweep — the `TierPolicy` default.
+const CLUSTER_WIDTH: f64 = 0.3;
+
+/// Stretch bound used for the spanner rung of the tier sweep — the
+/// `TierPolicy` default. At stretch 2 the spanner rung beats the
+/// clustered one on this map; 2.5 keeps the ladder's quality ordering
+/// strict while still far cheaper than the exact LP.
+const SPANNER_STRETCH: f64 = 2.5;
+
+/// Slack for the tier ETDD ordering gate (the rungs are distinct
+/// relaxations; ties up to float noise are legal).
+const TIER_ORDER_SLACK: f64 = 1e-9;
 
 fn main() {
     let mut out = String::from("artifacts/bench_service.json");
@@ -68,7 +88,7 @@ fn main() {
 
     let obs = vlp_obs::global();
     obs.reset();
-    obs.set_run_id("bench-service-v1");
+    obs.set_run_id("bench-service-v2");
     let total = Instant::now();
 
     // A city-like map: large enough that each of the four shards keeps
@@ -143,6 +163,63 @@ fn main() {
         }
     }
 
+    // Tier quality sweep: solve shard 0 at every rung of the quality
+    // ladder, audit each rung against the full (unreduced) Geo-I spec,
+    // and gate the ETDD ordering exact ≤ clustered ≤ spanner ≤
+    // graph-Laplace. The intermediate tiers trade optimality for solve
+    // time, never privacy — so the audit is at the ladder's canonical
+    // ε for every rung.
+    let tier_eps = svc.canonical_epsilon(EPSILONS[1]);
+    let inst = svc.shard_instance(0);
+    let opts = CgOptions::default();
+    let exact = inst
+        .solve(tier_eps, f64::INFINITY, &opts)
+        .expect("exact rung solves");
+    let clustered = inst
+        .solve_clustered(tier_eps, f64::INFINITY, CLUSTER_WIDTH, &opts)
+        .expect("clustered rung solves");
+    let spanner = inst
+        .solve_spanner(tier_eps, SPANNER_STRETCH, &opts)
+        .expect("spanner rung solves");
+    let laplace = inst.fallback(tier_eps);
+    let tier_etdd = [
+        exact.quality_loss,
+        clustered.quality_loss,
+        spanner.quality_loss,
+        laplace.quality_loss(&inst.cost),
+    ];
+    let full_spec = vlp_core::PrivacySpec::full(&inst.aux, tier_eps, f64::INFINITY);
+    for (tier, mech) in QualityTier::ALL.into_iter().zip([
+        &exact.mechanism,
+        &clustered.mechanism,
+        &spanner.mechanism,
+        &laplace,
+    ]) {
+        assert!(
+            privacy::verify(mech, &full_spec, 1e-6),
+            "{} rung violates full Geo-I at ε={tier_eps}",
+            tier.label()
+        );
+        audited += 1;
+    }
+    for (pair, losses) in QualityTier::ALL.windows(2).zip(tier_etdd.windows(2)) {
+        assert!(
+            losses[0] <= losses[1] + TIER_ORDER_SLACK,
+            "tier ETDD ordering violated: {} = {} > {} = {}",
+            pair[0].label(),
+            losses[0],
+            pair[1].label(),
+            losses[1]
+        );
+    }
+    for (tier, loss) in QualityTier::ALL.into_iter().zip(tier_etdd) {
+        obs.push(&format!("bench_service.tier.etdd.{}", tier.label()), loss);
+        obs.push(
+            &format!("bench_service.tier.etdd_vs_optimal.{}", tier.label()),
+            loss / exact.quality_loss,
+        );
+    }
+
     let hits = obs.counter(service::metrics::CACHE_HITS);
     let misses = obs.counter(service::metrics::CACHE_MISSES);
     let hit_rate = hits as f64 / (hits + misses) as f64;
@@ -178,9 +255,14 @@ fn main() {
     }
     println!(
         "bench_service: OK — {requests_total} requests over {batches} batches × {N_SHARDS} shards, \
-         {:.1}% cache hits, {:.1}% fallback-served, {:.0} req/s, {audited} mechanisms audited → {out}",
+         {:.1}% cache hits, {:.1}% fallback-served, {:.0} req/s, {audited} mechanisms audited; \
+         tier ETDD exact {:.4} ≤ clustered {:.4} ≤ spanner {:.4} ≤ laplace {:.4} → {out}",
         hit_rate * 100.0,
         fallback_share * 100.0,
-        throughput
+        throughput,
+        tier_etdd[0],
+        tier_etdd[1],
+        tier_etdd[2],
+        tier_etdd[3]
     );
 }

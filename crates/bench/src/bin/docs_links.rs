@@ -1,16 +1,33 @@
 //! Documentation link checker: verifies that every intra-repository
-//! markdown link in the top-level docs resolves to an existing file.
+//! markdown link in the top-level docs resolves to an existing file,
+//! and that every metric name the runbook documents is one the code
+//! actually records.
 //!
 //! Scans the repo root's `*.md` files (plus `docs/` if present) for
 //! inline links — `[text](target)` — and fails listing every target
 //! that does not exist on disk. External links (`http://`, `https://`,
 //! `mailto:`) and pure in-page anchors (`#section`) are skipped;
 //! fragments on file links (`ARCHITECTURE.md#caching`) are checked
-//! against the file only. Runs in CI as the `docs-links` step.
+//! against the file only.
+//!
+//! `OPERATIONS.md` additionally gets a metric audit: every backticked
+//! token that looks like a metric name (dotted, rooted in a known
+//! metric namespace) must resolve against `vlp_obs::schema`.
+//! Placeholder segments such as `<s>` or `<site>` stand for a concrete
+//! instance, and a trailing `.*` is checked as a family prefix. This is
+//! what catches drift like a runbook row for a counter the code
+//! renamed or never recorded. Runs in CI as the `docs-links` step.
 //!
 //! Flags: `--root <dir>` (default `.`).
 
 use std::path::{Path, PathBuf};
+
+/// First segments that mark a backticked token as a metric reference.
+/// Anything rooted elsewhere (type names, file paths, config knobs) is
+/// not audited.
+const METRIC_ROOTS: &[&str] = &[
+    "service", "chaos", "cg", "lpsolve", "lp", "cr", "dvlp", "roadnet", "platform",
+];
 
 /// Extracts inline markdown link targets — the `(...)` of `[...](...)`
 /// — from one document, with the line each was found on.
@@ -42,6 +59,90 @@ fn is_local(target: &str) -> bool {
         || target.starts_with("http://")
         || target.starts_with("https://")
         || target.starts_with("mailto:"))
+}
+
+/// Whether a backticked token reads as a metric name to audit: dotted,
+/// free of path/code punctuation, not a filename, and rooted in one of
+/// [`METRIC_ROOTS`] or a `bench_*` artifact namespace.
+fn looks_like_metric(token: &str) -> bool {
+    if !token.contains('.')
+        || token.contains(char::is_whitespace)
+        || token.contains(['/', ':', '('])
+        || token.starts_with('.')
+    {
+        return false;
+    }
+    if [".rs", ".md", ".json", ".toml"]
+        .iter()
+        .any(|ext| token.ends_with(ext))
+    {
+        return false;
+    }
+    let root = token.split('.').next().unwrap_or("");
+    METRIC_ROOTS.contains(&root) || root.starts_with("bench_")
+}
+
+/// Extracts backticked metric-looking tokens from one document, with
+/// the line each was found on.
+fn metric_tokens(doc: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in doc.lines().enumerate() {
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('`') else { break };
+            let token = &tail[..close];
+            rest = &tail[close + 1..];
+            if looks_like_metric(token) {
+                out.push((lineno + 1, token.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Whether `token`, read segment-wise with `*` and `<placeholder>`
+/// segments as single-segment wildcards, matches the concrete metric
+/// `name`.
+fn wildcard_matches(token: &str, name: &str) -> bool {
+    let t: Vec<&str> = token.split('.').collect();
+    let n: Vec<&str> = name.split('.').collect();
+    t.len() == n.len()
+        && t.iter()
+            .zip(&n)
+            .all(|(ts, ns)| *ts == "*" || (ts.starts_with('<') && ts.ends_with('>')) || ts == ns)
+}
+
+/// Resolves one documented metric token against the schema registry.
+/// A trailing `.*` is resolved as a family prefix; `<placeholder>`
+/// segments are tried both as a concrete instance (`0`, for
+/// family-named series like `service.breaker.state.<s>`) and as
+/// single-segment wildcards over the exact registry (for enumerations
+/// like `service.tier.<tier>.served`).
+fn metric_resolves(token: &str) -> bool {
+    if let Some(prefix) = token.strip_suffix(".*") {
+        return vlp_obs::schema::is_known_metric_prefix(&format!("{prefix}."));
+    }
+    if !token.contains(['<', '*']) {
+        return vlp_obs::schema::is_known_metric(token);
+    }
+    let mut name = String::with_capacity(token.len());
+    let mut rest = token;
+    while let Some(open) = rest.find('<') {
+        name.push_str(&rest[..open]);
+        match rest[open..].find('>') {
+            Some(close) => {
+                name.push('0');
+                rest = &rest[open + close + 1..];
+            }
+            None => return false,
+        }
+    }
+    name.push_str(rest);
+    (!name.contains('*') && vlp_obs::schema::is_known_metric(&name))
+        || vlp_obs::schema::KNOWN_METRICS
+            .iter()
+            .any(|m| wildcard_matches(token, m))
 }
 
 fn markdown_files(root: &Path) -> Vec<PathBuf> {
@@ -99,14 +200,32 @@ fn main() {
         }
     }
 
+    let mut metrics_checked = 0usize;
+    let runbook = root.join("OPERATIONS.md");
+    if runbook.is_file() {
+        let doc = std::fs::read_to_string(&runbook).expect("readable OPERATIONS.md");
+        for (line, token) in metric_tokens(&doc) {
+            metrics_checked += 1;
+            if !metric_resolves(&token) {
+                broken.push(format!(
+                    "{}:{line}: metric `{token}` is not in vlp_obs::schema",
+                    runbook.display()
+                ));
+            }
+        }
+    }
+
     if !broken.is_empty() {
-        eprintln!("docs_links: FAIL — {} broken link(s):", broken.len());
+        eprintln!("docs_links: FAIL — {} problem(s):", broken.len());
         for b in &broken {
             eprintln!("  {b}");
         }
         std::process::exit(1);
     }
-    println!("docs_links: OK — {checked} intra-repo links resolve");
+    println!(
+        "docs_links: OK — {checked} intra-repo links resolve, \
+         {metrics_checked} documented metric names are registered"
+    );
 }
 
 #[cfg(test)]
@@ -123,6 +242,56 @@ mod tests {
                 (1, "X.md".to_string()),
                 (1, "sub/Y.md#frag".to_string()),
                 (3, "#anchor".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn classifies_metric_tokens() {
+        assert!(looks_like_metric("service.cache_hits"));
+        assert!(looks_like_metric("service.breaker.state.<s>"));
+        assert!(looks_like_metric("chaos.injected.*"));
+        assert!(looks_like_metric("bench_load.wall.p50_us"));
+        assert!(looks_like_metric("lpsolve.warm.fallbacks"));
+        // Filenames, code paths, and expressions are not metrics.
+        assert!(!looks_like_metric("bench_chaos.json"));
+        assert!(!looks_like_metric("crates/platform/src/service.rs"));
+        assert!(!looks_like_metric("vlp_obs::schema::validate_snapshot"));
+        assert!(!looks_like_metric(
+            "service.solve.lp_vars / service.local.solves"
+        ));
+        assert!(!looks_like_metric(".full_lp_vars"));
+        assert!(!looks_like_metric("obfuscate_batch"));
+    }
+
+    #[test]
+    fn resolves_placeholders_and_families_against_the_registry() {
+        assert!(metric_resolves("service.requests"));
+        assert!(metric_resolves("service.tier.clustered.served"));
+        assert!(metric_resolves("service.breaker.state.<s>"));
+        assert!(metric_resolves("chaos.evaluated.<site>"));
+        assert!(metric_resolves("bench_local.<scale>.k_map"));
+        assert!(metric_resolves("service.tier.*"));
+        assert!(metric_resolves("lpsolve.warm.*"));
+        assert!(metric_resolves("service.tier.<tier>.served"));
+        assert!(metric_resolves("service.tier.*.served"));
+        assert!(!metric_resolves("service.tier.<tier>.bogus"));
+        // The drift class this gate exists for: a documented counter
+        // the code never records.
+        assert!(!metric_resolves("lpsolve.warm.fallbacks"));
+        assert!(!metric_resolves("service.tier.bogus"));
+    }
+
+    #[test]
+    fn extracts_metric_tokens_with_line_numbers() {
+        let doc = "see `service.batch` and `ARCHITECTURE.md`\n\
+                   | `chaos.injected.<site>` | counter |";
+        let tokens = metric_tokens(doc);
+        assert_eq!(
+            tokens,
+            vec![
+                (1, "service.batch".to_string()),
+                (2, "chaos.injected.<site>".to_string()),
             ]
         );
     }

@@ -74,6 +74,7 @@ mod instance;
 pub mod local;
 mod mechanism;
 pub mod privacy;
+pub mod tiers;
 
 pub use auxiliary::{aux_road_graph, AuxiliaryGraph};
 pub use column_generation::{solve_column_generation, CgDiagnostics, CgOptions};
@@ -84,3 +85,4 @@ pub use instance::{SolvedVlp, VlpInstance};
 pub use local::{LocalShard, LocalSolve, LocalityPlan, Neighborhood};
 pub use mechanism::Mechanism;
 pub use privacy::{PrivacyConstraint, PrivacySpec};
+pub use tiers::{clustered_mechanism, spanner_mechanism, support_d_hat, QualityTier, TierSolve};

@@ -555,6 +555,50 @@ impl LocalShard {
         self.dense = OnceLock::new();
     }
 
+    /// The lazily built dense instance backing full-support delegation
+    /// (crate-visible so the quality tiers in [`crate::tiers`] share
+    /// it).
+    pub(crate) fn dense(&self) -> &Arc<VlpInstance> {
+        self.dense_instance()
+    }
+
+    /// The auxiliary graph (crate-visible for [`crate::tiers`], whose
+    /// spanner tier runs metric-closure Dijkstras over it).
+    pub(crate) fn aux_graph(&self) -> &RoadGraph {
+        &self.aux_graph
+    }
+
+    /// The restricted cost matrix over `members`: directed road-graph
+    /// distances between member midpoints via target-terminated
+    /// Dijkstra from the member edges' end nodes — the same Eq. 9/10
+    /// composition as the dense build, shared by the exact neighborhood
+    /// solve and the quality tiers.
+    pub(crate) fn restricted_member_cost(&self, members: &[usize]) -> CostMatrix {
+        let mids: Vec<_> = members
+            .iter()
+            .map(|&g| self.disc.interval(g).midpoint())
+            .collect();
+        let sources: Vec<NodeId> = mids
+            .iter()
+            .map(|m| self.graph.edge(m.edge()).end())
+            .collect();
+        let targets: Vec<NodeId> = mids
+            .iter()
+            .map(|m| self.graph.edge(m.edge()).start())
+            .collect();
+        let node_dists = SparseNodeDists::build(&self.graph, &sources, &targets);
+        let member_slot: std::collections::HashMap<usize, usize> =
+            members.iter().enumerate().map(|(a, &g)| (g, a)).collect();
+        restricted_cost(members, &self.f_p, &self.f_q, |gi, gq| {
+            travel_distance_via(
+                &self.graph,
+                &node_dists,
+                mids[member_slot[&gi]],
+                mids[member_slot[&gq]],
+            )
+        })
+    }
+
     /// The lazily built dense instance backing full-support delegation.
     fn dense_instance(&self) -> &Arc<VlpInstance> {
         self.dense.get_or_init(|| {
@@ -636,32 +680,7 @@ impl LocalShard {
                 opts,
             );
         }
-        // Cost: directed road-graph distances between member midpoints,
-        // via target-terminated Dijkstra from the member edges' end
-        // nodes — the same Eq. 9/10 composition as the dense build.
-        let mids: Vec<_> = members
-            .iter()
-            .map(|&g| self.disc.interval(g).midpoint())
-            .collect();
-        let sources: Vec<NodeId> = mids
-            .iter()
-            .map(|m| self.graph.edge(m.edge()).end())
-            .collect();
-        let targets: Vec<NodeId> = mids
-            .iter()
-            .map(|m| self.graph.edge(m.edge()).start())
-            .collect();
-        let node_dists = SparseNodeDists::build(&self.graph, &sources, &targets);
-        let member_slot: std::collections::HashMap<usize, usize> =
-            members.iter().enumerate().map(|(a, &g)| (g, a)).collect();
-        let cost = restricted_cost(members, &self.f_p, &self.f_q, |gi, gq| {
-            travel_distance_via(
-                &self.graph,
-                &node_dists,
-                mids[member_slot[&gi]],
-                mids[member_slot[&gq]],
-            )
-        });
+        let cost = self.restricted_member_cost(members);
         let spec = self.audit_spec(nb, epsilon);
         let k = members.len();
         let lp_rows = spec.lp_row_count(k);

@@ -52,7 +52,10 @@ pub mod schema;
 
 /// Version of the snapshot JSON layout. Bump when the shape of the
 /// emitted document changes incompatibly.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: bench artifacts gained the per-quality-tier breakdown
+/// (`service.tier.*` counters and the benches' per-tier ETDD series).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Aggregated wall-clock statistics for one timer metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

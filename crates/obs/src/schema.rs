@@ -1,11 +1,149 @@
-//! Validation of the snapshot JSON layout.
+//! Validation of the snapshot JSON layout, plus the workspace's metric
+//! name registry.
 //!
-//! CI runs this against `artifacts/bench_smoke.json` so schema drift is
-//! caught by the pipeline, not by downstream dashboards.
+//! CI runs [`validate_snapshot`] against `artifacts/bench_smoke.json`
+//! so schema drift is caught by the pipeline, not by downstream
+//! dashboards, and the `docs_links` gate checks every metric name
+//! `OPERATIONS.md` mentions against [`is_known_metric`] /
+//! [`is_known_metric_prefix`] so the runbook can never document a
+//! counter the code stopped (or never started) recording.
 
 use serde_json::Value;
 
 use crate::SCHEMA_VERSION;
+
+/// Every statically-named metric the workspace records, by family.
+/// Dynamically-formatted names (per-shard series, per-site chaos
+/// counters, per-bench artifacts) are covered by [`METRIC_FAMILIES`]
+/// instead. A name listed here and never recorded is doc/code drift —
+/// `crates/platform` pins its `service.*` constants against this list.
+pub const KNOWN_METRICS: &[&str] = &[
+    // roadnet
+    "roadnet.dijkstra.runs",
+    "roadnet.dijkstra.settled_nodes",
+    // lpsolve (bounded revised simplex + warm-start pool)
+    "lpsolve.simplex.phase1_iterations",
+    "lpsolve.simplex.phase2_iterations",
+    "lpsolve.simplex.pivots",
+    "lpsolve.simplex.refactorizations",
+    "lpsolve.simplex.solve",
+    "lpsolve.simplex.solves",
+    "lpsolve.warm.cold_solves",
+    "lpsolve.warm.columns_added",
+    "lpsolve.warm.phase1_skipped",
+    "lpsolve.warm.pivots",
+    "lpsolve.warm.resolves",
+    // column generation
+    "cg.cold",
+    "cg.columns_added",
+    "cg.dual_bound",
+    "cg.iterations",
+    "cg.master",
+    "cg.master_objective",
+    "cg.master_pivots",
+    "cg.min_zeta",
+    "cg.pricing",
+    "cg.pricing_pivots",
+    "cg.solve",
+    "cg.solves",
+    "cg.threads_used",
+    "cg.warm",
+    // direct D-VLP solver and constraint reduction
+    "dvlp.lp_rows",
+    "dvlp.matrix_build",
+    "dvlp.solve",
+    "dvlp.solves",
+    "cr.constraints_full",
+    "cr.constraints_reduced",
+    "cr.reduce",
+    "cr.reductions",
+    // platform assignment loop
+    "platform.assignment_distortion_km",
+    "platform.assignment_est_km",
+    "platform.assignments",
+    "platform.mechanism_resolve",
+    "platform.refreshes",
+    "platform.reports_received",
+    "platform.snapshot",
+    "platform.snapshots",
+    // mechanism service
+    "service.requests",
+    "service.batch",
+    "service.cache_hits",
+    "service.cache_misses",
+    "service.cache_evictions",
+    "service.optimal_served",
+    "service.fallback_served",
+    "service.solve",
+    "service.solve_errors",
+    "service.off_partition",
+    "service.prior_invalidations",
+    "service.retry.attempts",
+    "service.solve_panics",
+    "service.stale_served",
+    "service.stale_demotions",
+    "service.breaker.opened",
+    "service.breaker.half_open",
+    "service.breaker.reclosed",
+    "service.breaker.shed",
+    "service.queue.enqueued",
+    "service.queue.coalesced",
+    "service.queue.full",
+    "service.queue.drained",
+    "service.shed.rejected",
+    "service.shed.degraded",
+    "service.solve.support",
+    "service.solve.lp_vars",
+    "service.solve.lp_rows",
+    "service.local.neighborhoods",
+    "service.local.solves",
+    "service.tier.exact.served",
+    "service.tier.clustered.served",
+    "service.tier.spanner.served",
+    "service.tier.laplace.served",
+    // failpoint site names (documented alongside the chaos counters)
+    "service.cache.evict_storm",
+    "service.deadline.jitter",
+    "cg.pricing.panic",
+    "lp.resolve.fault",
+    "lp.solve.fault",
+];
+
+/// Prefix families for dynamically-formatted metric names: per-shard
+/// health series, per-site chaos accounting, and the benches' own
+/// artifact namespaces (each bench versions its own report contents).
+pub const METRIC_FAMILIES: &[&str] = &[
+    "service.breaker.state.",
+    "service.queue.depth.",
+    "service.shard.blackout.",
+    "chaos.evaluated.",
+    "chaos.injected.",
+    "bench_smoke.",
+    "bench_service.",
+    "bench_load.",
+    "bench_local.",
+    "bench_chaos.",
+];
+
+/// Whether `name` is a metric the workspace records: an exact entry in
+/// [`KNOWN_METRICS`] or an instance of a [`METRIC_FAMILIES`] prefix.
+pub fn is_known_metric(name: &str) -> bool {
+    KNOWN_METRICS.contains(&name)
+        || METRIC_FAMILIES
+            .iter()
+            .any(|f| name.len() > f.len() && name.starts_with(f))
+}
+
+/// Whether `prefix` names a family of recorded metrics — used for
+/// wildcard references like `service.breaker.*` in the runbook. True
+/// when some known metric or family starts with `prefix` (or the
+/// prefix extends into a family).
+pub fn is_known_metric_prefix(prefix: &str) -> bool {
+    KNOWN_METRICS.iter().any(|m| m.starts_with(prefix))
+        || METRIC_FAMILIES
+            .iter()
+            .any(|f| f.starts_with(prefix) || prefix.starts_with(f))
+}
 
 /// Checks that `snapshot` conforms to the current snapshot schema.
 ///
@@ -107,7 +245,7 @@ mod tests {
 
     fn valid() -> Value {
         json!({
-            "schema_version": 1,
+            "schema_version": SCHEMA_VERSION,
             "run_id": "r",
             "counters": {"c": 3},
             "timers": {"t": {"count": 2, "total_ns": 10, "min_ns": 4,
@@ -119,6 +257,25 @@ mod tests {
     #[test]
     fn accepts_valid_snapshot() {
         validate_snapshot(&valid()).unwrap();
+    }
+
+    #[test]
+    fn metric_registry_matches_names_and_families() {
+        assert!(is_known_metric("service.requests"));
+        assert!(is_known_metric("service.tier.clustered.served"));
+        assert!(is_known_metric("service.breaker.state.3"));
+        assert!(is_known_metric("chaos.injected.service.shard.blackout.1"));
+        assert!(is_known_metric("bench_chaos.optimal_share"));
+        assert!(!is_known_metric("service.tier.bogus"));
+        assert!(!is_known_metric("lpsolve.warm.fallbacks"));
+        // A bare family prefix is not itself a metric.
+        assert!(!is_known_metric("service.breaker.state."));
+
+        assert!(is_known_metric_prefix("service.breaker."));
+        assert!(is_known_metric_prefix("service.tier."));
+        assert!(is_known_metric_prefix("chaos."));
+        assert!(is_known_metric_prefix("bench_load.wall."));
+        assert!(!is_known_metric_prefix("telemetry."));
     }
 
     #[test]
@@ -137,13 +294,13 @@ mod tests {
     #[test]
     fn rejects_malformed_sections() {
         let bad_counter = json!({
-            "schema_version": 1, "run_id": "r",
+            "schema_version": SCHEMA_VERSION, "run_id": "r",
             "counters": {"c": (-1)}, "timers": {}, "series": {}
         });
         assert!(validate_snapshot(&bad_counter).is_err());
 
         let bad_timer = json!({
-            "schema_version": 1, "run_id": "r", "counters": {},
+            "schema_version": SCHEMA_VERSION, "run_id": "r", "counters": {},
             "timers": {"t": {"count": 0, "total_ns": 0, "min_ns": 0,
                               "max_ns": 0, "mean_ns": 0.0}},
             "series": {}
@@ -151,7 +308,7 @@ mod tests {
         assert!(validate_snapshot(&bad_timer).is_err());
 
         let bad_series = json!({
-            "schema_version": 1, "run_id": "r", "counters": {},
+            "schema_version": SCHEMA_VERSION, "run_id": "r", "counters": {},
             "timers": {}, "series": {"s": ["oops"]}
         });
         assert!(validate_snapshot(&bad_series).is_err());

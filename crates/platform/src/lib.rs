@@ -63,7 +63,7 @@ pub use server::metrics;
 pub use server::{Server, ServerConfig, SnapshotOutcome};
 pub use service::{
     BreakerState, LocalConfig, MechanismService, Obfuscation, ResilienceConfig, Response, Served,
-    ServiceConfig, ServiceHandle, ServiceHealth, ShardHealth, ShutdownReport,
+    ServiceConfig, ServiceHandle, ServiceHealth, ShardHealth, ShutdownReport, TierPolicy,
 };
 pub use simulation::{Simulation, SimulationConfig, SimulationReport};
 pub use worker::{Worker, WorkerId, WorkerStatus};

@@ -34,13 +34,13 @@ use std::time::{Duration, Instant};
 use rand::RngExt;
 use roadnet::{Location, Partition, RoadGraph};
 use vlp_core::local::local_index;
-use vlp_core::{LocalShard, Mechanism, Prior, VlpError, VlpInstance};
+use vlp_core::{LocalShard, Mechanism, Prior, QualityTier, VlpError, VlpInstance};
 use vlp_obs::failpoint::{self, site, FaultPlan};
 
 use super::ladder::{
     solve_key, Breaker, BreakerState, CachedSolve, LruCache, MechKey, MissOutcome, SolveStats,
 };
-use super::{metrics, Obfuscation, Response, Served, ServiceConfig};
+use super::{metrics, Obfuscation, Response, Served, ServiceConfig, TierPolicy};
 use crate::WorkerId;
 
 /// Locks a mutex, recovering the data on poison: core state is kept
@@ -67,6 +67,9 @@ pub(crate) struct ShardStats {
     pub(crate) breaker_shed: u64,
     pub(crate) rejected: u64,
     pub(crate) degraded: u64,
+    /// Serves per quality tier, indexed by the `QualityTier`
+    /// discriminant (`Exact`, `Clustered`, `Spanner`, `Laplace`).
+    pub(crate) served_tier: [u64; 4],
 }
 
 impl ShardStats {
@@ -88,6 +91,11 @@ impl ShardStats {
         for (name, value) in pairs {
             if value > 0 {
                 obs.incr(name, value);
+            }
+        }
+        for (tier, served) in QualityTier::ALL.into_iter().zip(self.served_tier) {
+            if served > 0 {
+                obs.incr(metrics::tier_served_metric(tier), served);
             }
         }
         *self = ShardStats::default();
@@ -156,13 +164,18 @@ impl ShardTable {
         vlp_obs::global().incr(metrics::STALE_DEMOTIONS, 1);
     }
 
-    /// The fallback mechanism for `key`, built lazily on first use.
+    /// The fallback mechanism for `key`'s `(neighborhood, ε-bucket)`
+    /// slot, built lazily on first use. Fallbacks are stored at the
+    /// `Laplace` tier whatever tier the requesting key carried — one
+    /// closed-form mechanism per slot, shared by every tier that sheds
+    /// to it.
     pub(crate) fn fallback_entry(
         &mut self,
         engine: &EngineSnapshot,
         key: MechKey,
         canonical: f64,
     ) -> Arc<Mechanism> {
+        let key = key.at_tier(QualityTier::Laplace);
         Arc::clone(
             self.fallbacks
                 .entry(key)
@@ -265,41 +278,79 @@ impl EngineSnapshot {
         }
     }
 
-    /// Runs one solve for `key` and packages it with its LP-shape
-    /// stats. `radius` is only read in full-shard mode; the local
-    /// engine's protection radius is fixed at boot.
+    /// Runs one solve for `key` at `key.tier` and packages it with its
+    /// LP-shape stats. `radius` is only read in full-shard mode; the
+    /// local engine's protection radius is fixed at boot. The
+    /// intermediate tiers read their LP-reduction knobs from `tiers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `Laplace`-tier key: the graph-Laplace mechanism is
+    /// closed-form and built by [`EngineSnapshot::build_fallback`] —
+    /// it never occupies a solver worker.
     pub(crate) fn solve(
         &self,
         key: MechKey,
         epsilon: f64,
         radius: f64,
         cg: &vlp_core::CgOptions,
+        tiers: &TierPolicy,
     ) -> Result<CachedSolve, VlpError> {
         match self {
-            EngineSnapshot::Full(inst) => inst.solve(epsilon, radius, cg).map(|sv| {
+            EngineSnapshot::Full(inst) => {
                 let k = inst.len();
-                CachedSolve {
-                    mechanism: Arc::new(sv.mechanism),
-                    quality_loss: sv.quality_loss,
+                let from_tier = |ts: vlp_core::TierSolve| CachedSolve {
+                    mechanism: Arc::new(ts.mechanism),
+                    quality_loss: ts.quality_loss,
                     stats: SolveStats {
                         support: k as u64,
-                        lp_vars: (k * k) as u64,
-                        lp_rows: sv.spec.lp_row_count(k) as u64,
+                        lp_vars: ts.lp_vars as u64,
+                        lp_rows: ts.lp_rows as u64,
                     },
-                }
-            }),
-            EngineSnapshot::Local(shard) => {
-                shard
-                    .solve_neighborhood(key.nb, epsilon, cg)
-                    .map(|ls| CachedSolve {
-                        mechanism: Arc::new(ls.mechanism),
-                        quality_loss: ls.quality_loss,
+                };
+                match key.tier {
+                    QualityTier::Exact => inst.solve(epsilon, radius, cg).map(|sv| CachedSolve {
+                        mechanism: Arc::new(sv.mechanism),
+                        quality_loss: sv.quality_loss,
                         stats: SolveStats {
-                            support: ls.support.len() as u64,
-                            lp_vars: ls.lp_vars as u64,
-                            lp_rows: ls.lp_rows as u64,
+                            support: k as u64,
+                            lp_vars: (k * k) as u64,
+                            lp_rows: sv.spec.lp_row_count(k) as u64,
                         },
-                    })
+                    }),
+                    QualityTier::Clustered => inst
+                        .solve_clustered(epsilon, radius, tiers.cluster_width, cg)
+                        .map(from_tier),
+                    QualityTier::Spanner => inst
+                        .solve_spanner(epsilon, tiers.spanner_stretch, cg)
+                        .map(from_tier),
+                    QualityTier::Laplace => {
+                        unreachable!("Laplace is built closed-form, never queued as a solve")
+                    }
+                }
+            }
+            EngineSnapshot::Local(shard) => {
+                let ls = match key.tier {
+                    QualityTier::Exact => shard.solve_neighborhood(key.nb, epsilon, cg),
+                    QualityTier::Clustered => {
+                        shard.clustered_neighborhood(key.nb, epsilon, tiers.cluster_width, cg)
+                    }
+                    QualityTier::Spanner => {
+                        shard.spanner_neighborhood(key.nb, epsilon, tiers.spanner_stretch, cg)
+                    }
+                    QualityTier::Laplace => {
+                        unreachable!("Laplace is built closed-form, never queued as a solve")
+                    }
+                };
+                ls.map(|ls| CachedSolve {
+                    mechanism: Arc::new(ls.mechanism),
+                    quality_loss: ls.quality_loss,
+                    stats: SolveStats {
+                        support: ls.support.len() as u64,
+                        lp_vars: ls.lp_vars as u64,
+                        lp_rows: ls.lp_rows as u64,
+                    },
+                })
             }
         }
     }
@@ -466,22 +517,37 @@ impl CoreShared {
         let i = engine
             .locate(local)
             .expect("shard-local location lies on the shard");
-        let key = MechKey {
+        let slot = MechKey {
             nb: engine.neighborhood_of(i),
             bucket,
+            tier: QualityTier::Exact,
         };
 
-        let served: Option<(Arc<Mechanism>, Served)> = {
+        let served: Option<(Arc<Mechanism>, QualityTier, Served)> = {
             let mut t = lock(&shard.table);
             t.stats.requests += 1;
-            if let Some(hit) = t.cache.get(key).map(|e| Arc::clone(&e.mechanism)) {
+            // Best-tier-first hit scan: a cached clustered or spanner
+            // mechanism still beats the fallback. With the default
+            // (all-Exact) policy only the first probe ever exists.
+            let hit_tier = QualityTier::ALL
+                .into_iter()
+                .take_while(|&tier| tier < QualityTier::Laplace)
+                .find(|&tier| t.cache.contains(slot.at_tier(tier)));
+            if let Some(tier) = hit_tier {
+                let hit = t
+                    .cache
+                    .get(slot.at_tier(tier))
+                    .map(|e| Arc::clone(&e.mechanism))
+                    .expect("contains() above");
                 // The hot path: one refcount bump under the table lock,
                 // sampling happens outside it. No queue is touched.
                 t.stats.hits += 1;
                 t.stats.served_optimal += 1;
-                Some((hit, Served::Optimal { cached: true }))
+                t.stats.served_tier[tier as usize] += 1;
+                Some((hit, tier, Served::Optimal { cached: true }))
             } else {
                 t.stats.misses += 1;
+                let key = slot.at_tier(self.config.tiers.background_tier());
                 self.admit_miss(&mut t, shard, &engine, key, canonical, epoch)
             }
         };
@@ -491,9 +557,9 @@ impl CoreShared {
                 shard: s,
                 epsilon: canonical,
             },
-            Some((mechanism, served)) => {
-                let row = engine.local_row(key.nb, i);
-                let j = engine.global_interval(key.nb, mechanism.sample_interval(row, rng));
+            Some((mechanism, tier, served)) => {
+                let row = engine.local_row(slot.nb, i);
+                let j = engine.global_interval(slot.nb, mechanism.sample_interval(row, rng));
                 let location = engine
                     .transplant(local, j)
                     .expect("reported interval lies on the shard");
@@ -503,6 +569,7 @@ impl CoreShared {
                     interval: j,
                     location,
                     epsilon: canonical,
+                    tier,
                     served,
                 })
             }
@@ -520,7 +587,7 @@ impl CoreShared {
         key: MechKey,
         canonical: f64,
         epoch: u64,
-    ) -> Option<(Arc<Mechanism>, Served)> {
+    ) -> Option<(Arc<Mechanism>, QualityTier, Served)> {
         // Rung 2 gate: open breakers shed without an attempt; half-open
         // breakers admit one probe solve per epoch.
         let admitted = match t.breaker.state {
@@ -591,7 +658,12 @@ impl CoreShared {
             // Warming: the optimum is on its way; hold the line with
             // the fallback floor at the same canonical ε (rung 4).
             t.stats.served_fallback += 1;
-            return Some((t.fallback_entry(engine, key, canonical), Served::Fallback));
+            t.stats.served_tier[QualityTier::Laplace as usize] += 1;
+            return Some((
+                t.fallback_entry(engine, key, canonical),
+                QualityTier::Laplace,
+                Served::Fallback,
+            ));
         }
         // Shed: rung 3 (stale) if available, else a *prebuilt* fallback.
         // Nothing is constructed under backpressure — a cold shed key is
@@ -599,16 +671,19 @@ impl CoreShared {
         if let Some((entry, demoted)) = t.stale.get(&key) {
             t.stats.served_stale += 1;
             t.stats.degraded += 1;
+            t.stats.served_tier[key.tier as usize] += 1;
             let age = epoch.saturating_sub(*demoted);
             return Some((
                 Arc::clone(&entry.mechanism),
+                key.tier,
                 Served::Stale { age_batches: age },
             ));
         }
-        if let Some(m) = t.fallbacks.get(&key) {
+        if let Some(m) = t.fallbacks.get(&key.at_tier(QualityTier::Laplace)) {
             t.stats.served_fallback += 1;
             t.stats.degraded += 1;
-            return Some((Arc::clone(m), Served::Fallback));
+            t.stats.served_tier[QualityTier::Laplace as usize] += 1;
+            return Some((Arc::clone(m), QualityTier::Laplace, Served::Fallback));
         }
         t.stats.rejected += 1;
         None
@@ -752,7 +827,13 @@ impl CoreShared {
                 failpoint::activate(Arc::clone(&self.chaos), solve_key(job.epoch, key, attempt))
             });
             let result = catch_unwind(AssertUnwindSafe(|| {
-                engine.solve(job.key, job.epsilon, self.config.radius, &self.config.cg)
+                engine.solve(
+                    job.key,
+                    job.epsilon,
+                    self.config.radius,
+                    &self.config.cg,
+                    &self.config.tiers,
+                )
             }));
             match result {
                 Ok(Ok(sv)) => {
@@ -880,6 +961,14 @@ impl ServingCore {
         assert!(
             config.resilience.stale_capacity > 0,
             "stale capacity must be positive"
+        );
+        assert!(
+            config.tiers.cluster_width >= 0.0 && config.tiers.cluster_width.is_finite(),
+            "cluster width must be finite and non-negative"
+        );
+        assert!(
+            config.tiers.spanner_stretch >= 1.0 && config.tiers.spanner_stretch.is_finite(),
+            "spanner stretch must be finite and at least 1"
         );
         if let Some(local) = &config.local {
             assert!(local.rho > 0.0, "assignment radius rho must be positive");

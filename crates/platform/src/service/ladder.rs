@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use vlp_core::Mechanism;
+use vlp_core::{Mechanism, QualityTier};
 
 /// The per-shard circuit-breaker state (ladder rung 2).
 ///
@@ -117,18 +117,34 @@ impl Breaker {
 /// always `0`; in locally-relevant mode it is the canonical
 /// neighborhood id from the shard's `LocalityPlan`, so nearby vehicles
 /// assigned to the same ρ-net center share one entry per ε-bucket.
+/// Distinct quality tiers cache separately — a clustered mechanism
+/// must never masquerade as the exact one — with the tier *last* in
+/// the derived ordering so `(nb, bucket)` remains the primary sort and
+/// all-`Exact` traffic (the default tier policy) orders exactly as
+/// before the tier field existed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub(crate) struct MechKey {
     /// Canonical neighborhood id (`0` in full-shard mode).
     pub(crate) nb: u32,
     /// ε-bucket (rounded-down canonical budget index).
     pub(crate) bucket: u64,
+    /// Quality tier the cached mechanism was solved at.
+    pub(crate) tier: QualityTier,
 }
 
 impl MechKey {
-    /// The full-shard key for an ε-bucket.
+    /// The full-shard exact-tier key for an ε-bucket.
     pub(crate) fn full(bucket: u64) -> Self {
-        Self { nb: 0, bucket }
+        Self {
+            nb: 0,
+            bucket,
+            tier: QualityTier::Exact,
+        }
+    }
+
+    /// The same `(nb, bucket)` slot at another tier.
+    pub(crate) fn at_tier(self, tier: QualityTier) -> Self {
+        Self { tier, ..self }
     }
 }
 
@@ -164,17 +180,19 @@ pub(crate) enum MissOutcome {
 }
 
 /// The failpoint evaluation key for one solve attempt: a pure mix of
-/// `(epoch, shard, neighborhood, ε-bucket, attempt)`, so fault
+/// `(epoch, shard, neighborhood, ε-bucket, tier, attempt)`, so fault
 /// schedules are independent of how solves are distributed over worker
-/// threads. The neighborhood term is zero in full-shard mode, keeping
-/// committed full-mode fault schedules byte-stable across the
-/// locally-relevant refactor.
+/// threads. The neighborhood term is zero in full-shard mode and the
+/// tier term is zero for `Exact` (discriminant 0), keeping committed
+/// fault schedules byte-stable across both the locally-relevant and
+/// the quality-tier refactors.
 pub(crate) fn solve_key(epoch: u64, key: (usize, MechKey), attempt: u32) -> u64 {
     epoch
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((key.0 as u64).rotate_left(40))
         .wrapping_add(key.1.bucket.rotate_left(20))
         .wrapping_add(u64::from(key.1.nb).rotate_left(52))
+        .wrapping_add((key.1.tier as u64).rotate_left(33))
         .wrapping_add(u64::from(attempt))
 }
 

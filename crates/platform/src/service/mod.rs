@@ -97,7 +97,7 @@ use std::time::Duration;
 
 use rand::RngExt;
 use roadnet::{Location, Partition, RoadGraph};
-use vlp_core::{CgOptions, LocalShard, Mechanism, Prior, VlpInstance};
+use vlp_core::{CgOptions, LocalShard, Mechanism, Prior, QualityTier, VlpInstance};
 use vlp_obs::failpoint::{site, FaultPlan};
 
 use crate::server::assign_snapshot;
@@ -201,6 +201,31 @@ pub mod metrics {
     pub const LOCAL_NEIGHBORHOODS: &str = "service.local.neighborhoods";
     /// Counter: solves completed by the locally-relevant engine.
     pub const LOCAL_SOLVES: &str = "service.local.solves";
+    /// Counter: requests served at the exact tier (the full
+    /// column-generation optimum — `Exact` in
+    /// [`vlp_core::QualityTier`]).
+    pub const TIER_EXACT_SERVED: &str = "service.tier.exact.served";
+    /// Counter: requests served at the interval-clustering tier
+    /// (`Clustered`).
+    pub const TIER_CLUSTERED_SERVED: &str = "service.tier.clustered.served";
+    /// Counter: requests served at the spanner tier (`Spanner`).
+    pub const TIER_SPANNER_SERVED: &str = "service.tier.spanner.served";
+    /// Counter: requests served at the graph-Laplace tier (`Laplace` —
+    /// every fallback serve, whatever rung of the resilience ladder
+    /// produced it).
+    pub const TIER_LAPLACE_SERVED: &str = "service.tier.laplace.served";
+
+    /// The per-tier served counter for `tier` — one of the four
+    /// `service.tier.<tier>.served` names above.
+    pub fn tier_served_metric(tier: vlp_core::QualityTier) -> &'static str {
+        use vlp_core::QualityTier;
+        match tier {
+            QualityTier::Exact => TIER_EXACT_SERVED,
+            QualityTier::Clustered => TIER_CLUSTERED_SERVED,
+            QualityTier::Spanner => TIER_SPANNER_SERVED,
+            QualityTier::Laplace => TIER_LAPLACE_SERVED,
+        }
+    }
 
     /// Records one completed solve's LP shape into the cumulative
     /// counters (cumulative sums are commutative, so the totals are
@@ -284,6 +309,13 @@ pub struct ServiceConfig {
     /// harnesses like `bench_chaos` script solver faults, shard
     /// blackouts, evict storms, and deadline jitter through it.
     pub chaos: FaultPlan,
+    /// Quality-tier policy: the LP-reduction knobs of the intermediate
+    /// tiers ([`vlp_core::tiers`]) and the deadline floors that decide
+    /// which rung of the quality ladder a batch's cold solves run at.
+    /// The default picks `Exact` for any nonzero deadline and the
+    /// graph-Laplace fallback for a zero deadline — exactly the
+    /// pre-tier behavior.
+    pub tiers: TierPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -301,7 +333,79 @@ impl Default for ServiceConfig {
             resilience: ResilienceConfig::default(),
             local: None,
             chaos: FaultPlan::default(),
+            tiers: TierPolicy::default(),
         }
+    }
+}
+
+/// The quality ladder's tier-selection policy
+/// ([`ServiceConfig::tiers`]): which [`QualityTier`] a cold solve runs
+/// at, as a function of the remaining *logical* deadline, plus the
+/// LP-reduction knobs of the two intermediate tiers (see `DESIGN.md`,
+/// "Quality tiers"). Every tier's mechanism satisfies full-spec
+/// ε-Geo-I at the canonical ε — the ladder trades quality (ETDD), not
+/// privacy.
+#[derive(Debug, Clone, Copy)]
+pub struct TierPolicy {
+    /// Clustering width (km of `d_min` distance) of the `Clustered`
+    /// tier: intervals within this distance of a cluster center share
+    /// the center's mechanism row. `0` degenerates to the exact
+    /// (unclustered) LP.
+    pub cluster_width: f64,
+    /// Stretch factor `t ≥ 1` of the `Spanner` tier's greedy t-spanner.
+    /// The spanner constraints are enforced at `ε/t`, so chaining
+    /// along spanner paths never loosens ε; larger stretch keeps fewer
+    /// constraints but over-tightens more.
+    pub spanner_stretch: f64,
+    /// Minimum logical deadline at which a cold solve runs `Exact`.
+    pub exact_floor: Duration,
+    /// Minimum logical deadline for the `Clustered` tier (checked when
+    /// the deadline is below [`TierPolicy::exact_floor`]).
+    pub clustered_floor: Duration,
+    /// Minimum logical deadline for the `Spanner` tier (checked when
+    /// the deadline is below [`TierPolicy::clustered_floor`]).
+    pub spanner_floor: Duration,
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        Self {
+            cluster_width: 0.3,
+            spanner_stretch: 2.5,
+            exact_floor: Duration::ZERO,
+            clustered_floor: Duration::MAX,
+            spanner_floor: Duration::MAX,
+        }
+    }
+}
+
+impl TierPolicy {
+    /// The best tier whose deadline floor fits `deadline`. A zero
+    /// deadline (the "never wait" contract) is always `Laplace`;
+    /// otherwise the ladder is scanned best-first, falling through to
+    /// `Laplace` when even the spanner floor does not fit. The
+    /// deadline is *logical*, exactly like
+    /// [`ServiceConfig::solve_deadline`] — no wall clock is raced.
+    pub fn tier_for(&self, deadline: Duration) -> QualityTier {
+        if deadline.is_zero() {
+            QualityTier::Laplace
+        } else if self.exact_floor <= deadline {
+            QualityTier::Exact
+        } else if self.clustered_floor <= deadline {
+            QualityTier::Clustered
+        } else if self.spanner_floor <= deadline {
+            QualityTier::Spanner
+        } else {
+            QualityTier::Laplace
+        }
+    }
+
+    /// The tier background (cache-warming) solves run at: the best
+    /// tier with no deadline pressure. Never `Laplace` — the exact
+    /// floor always fits an unbounded deadline, so warming always
+    /// buys a real LP solve.
+    pub fn background_tier(&self) -> QualityTier {
+        self.tier_for(Duration::MAX)
     }
 }
 
@@ -403,6 +507,11 @@ pub struct Obfuscation {
     /// The canonical (bucketed) ε the served mechanism enforces —
     /// at most the requested ε.
     pub epsilon: f64,
+    /// The quality tier of the served mechanism: `Exact` for the full
+    /// CG optimum, `Clustered`/`Spanner` for the intermediate tiers,
+    /// `Laplace` for every fallback serve. All tiers satisfy full-spec
+    /// ε-Geo-I at [`Obfuscation::epsilon`].
+    pub tier: QualityTier,
     /// Which mechanism served the request.
     pub served: Served,
 }
@@ -643,7 +752,7 @@ impl MechanismService {
         let (bucket, _) = self.core.shared.bucket(epsilon);
         lock(&self.core.shared.shards[s].table)
             .fallbacks
-            .get(&MechKey::full(bucket))
+            .get(&MechKey::full(bucket).at_tier(QualityTier::Laplace))
             .map(Arc::clone)
     }
 
@@ -879,19 +988,44 @@ impl MechanismService {
         requests: &[(WorkerId, Location, f64)],
         rng: &mut R,
     ) -> Vec<Obfuscation> {
+        let deadline = self.core.shared.config.solve_deadline;
+        self.obfuscate_batch_with_deadline(requests, deadline, rng)
+    }
+
+    /// [`MechanismService::obfuscate_batch`] with an explicit logical
+    /// deadline for this batch, overriding
+    /// [`ServiceConfig::solve_deadline`]. The deadline picks the rung
+    /// of the *quality ladder* through [`TierPolicy::tier_for`]: cold
+    /// keys are solved at the best tier whose deadline floor fits, and
+    /// a `Laplace` outcome (zero deadline, or every floor too high)
+    /// serves the closed-form fallback while a background solve at
+    /// [`TierPolicy::background_tier`] warms the cache. Cache hits are
+    /// scanned best-tier-first up to the deadline's tier, so a batch
+    /// under pressure still serves the best mechanism already paid
+    /// for. Like the base deadline this is logical — no wall clock is
+    /// raced, and batch outputs are reproducible on arbitrarily slow
+    /// machines.
+    pub fn obfuscate_batch_with_deadline<R: RngExt + ?Sized>(
+        &mut self,
+        requests: &[(WorkerId, Location, f64)],
+        deadline: Duration,
+        rng: &mut R,
+    ) -> Vec<Obfuscation> {
         let obs = vlp_obs::global();
         let _span = obs.start(metrics::BATCH_TIME);
         obs.incr(metrics::REQUESTS, requests.len() as u64);
         let shared = &self.core.shared;
         let batch = shared.epoch.fetch_add(1, Ordering::SeqCst);
         let stale_capacity = shared.config.resilience.stale_capacity;
+        let tiers = shared.config.tiers;
+        let target = tiers.tier_for(deadline);
 
         // Batch-scoped chaos: deadline jitter, evict storms, and shard
         // blackouts are keyed by the batch index, so a schedule reads
         // as a timeline. With an empty plan this block is inert.
         let plan = Arc::clone(&shared.chaos);
         let chaos_on = !plan.is_empty();
-        let mut wait_for_solves = !shared.config.solve_deadline.is_zero();
+        let mut wait_for_solves = target != QualityTier::Laplace;
         let mut blackout: HashSet<usize> = HashSet::new();
         if chaos_on {
             if plan.evaluate(site::SERVICE_DEADLINE_JITTER, batch) {
@@ -921,6 +1055,22 @@ impl MechanismService {
             }
         }
 
+        // The tier this batch's admitted misses are solved at: the
+        // deadline's tier when the batch waits, otherwise the best
+        // background tier (the solve completes and warms the cache;
+        // the request itself serves the fallback).
+        let miss_tier = if wait_for_solves {
+            target
+        } else {
+            tiers.background_tier()
+        };
+        // Cache hits are scanned best-first, but never at a tier
+        // *better* than the deadline allows to solve — that keeps the
+        // default (all-Exact) policy scanning exactly one key, as
+        // before tiers existed. A zero deadline scans every solved
+        // tier: any cached LP optimum beats building nothing.
+        let scan_cap = target.min(QualityTier::Spanner);
+
         // Phase A: map requests into shards, locate their intervals
         // (which fixes the serving neighborhood — always 0 in
         // full-shard mode), and classify hit/miss.
@@ -947,14 +1097,20 @@ impl MechanismService {
             let interval = engines[shard]
                 .locate(local)
                 .expect("shard-local location lies on the shard");
-            let key = (
-                shard,
-                MechKey {
-                    nb: engines[shard].neighborhood_of(interval),
-                    bucket,
-                },
-            );
-            let was_hit = lock(&shared.shards[shard].table).cache.contains(key.1);
+            let slot = MechKey {
+                nb: engines[shard].neighborhood_of(interval),
+                bucket,
+                tier: QualityTier::Exact,
+            };
+            let hit_tier = {
+                let t = lock(&shared.shards[shard].table);
+                QualityTier::ALL
+                    .into_iter()
+                    .take_while(|&tier| tier <= scan_cap)
+                    .find(|&tier| t.cache.contains(slot.at_tier(tier)))
+            };
+            let was_hit = hit_tier.is_some();
+            let key = (shard, slot.at_tier(hit_tier.unwrap_or(miss_tier)));
             if was_hit {
                 hits += 1;
             } else {
@@ -1073,6 +1229,7 @@ impl MechanismService {
 
         let mut out = Vec::with_capacity(resolved.len());
         let (mut optimal, mut stale_served, mut fallback) = (0u64, 0u64, 0u64);
+        let mut tier_served = [0u64; 4];
         for r in resolved {
             let engine = &engines[r.shard];
             let (mechanism, served) = {
@@ -1112,11 +1269,19 @@ impl MechanismService {
                     },
                 }
             };
+            // Provenance: optimal and stale serves carry the tier of
+            // the key they were solved at; every fallback serve is the
+            // graph-Laplace tier, whatever rung shed it there.
+            let tier = match served {
+                Served::Optimal { .. } | Served::Stale { .. } => r.key.1.tier,
+                Served::Fallback => QualityTier::Laplace,
+            };
             match served {
                 Served::Optimal { .. } => optimal += 1,
                 Served::Stale { .. } => stale_served += 1,
                 Served::Fallback => fallback += 1,
             }
+            tier_served[tier as usize] += 1;
             let row = engine.local_row(r.key.1.nb, r.interval);
             let j = engine.global_interval(r.key.1.nb, mechanism.sample_interval(row, rng));
             let location = engine
@@ -1128,12 +1293,18 @@ impl MechanismService {
                 interval: j,
                 location,
                 epsilon: r.canonical,
+                tier,
                 served,
             });
         }
         obs.incr(metrics::OPTIMAL_SERVED, optimal);
         obs.incr(metrics::STALE_SERVED, stale_served);
         obs.incr(metrics::FALLBACK_SERVED, fallback);
+        for (tier, served) in QualityTier::ALL.into_iter().zip(tier_served) {
+            if served > 0 {
+                obs.incr(metrics::tier_served_metric(tier), served);
+            }
+        }
 
         // Export the health snapshot: one breaker-state sample per
         // shard per batch.
@@ -1939,5 +2110,194 @@ mod tests {
     #[should_panic(expected = "requires a finite")]
     fn local_mode_rejects_finite_rho_with_infinite_radius() {
         let _ = local_service(0.4, f64::INFINITY, Duration::ZERO);
+    }
+
+    fn tiered_service() -> MechanismService {
+        MechanismService::new(
+            generators::grid(3, 4, 0.4, true),
+            ServiceConfig {
+                n_shards: 2,
+                delta: 0.2,
+                tiers: TierPolicy {
+                    cluster_width: 0.3,
+                    spanner_stretch: 2.0,
+                    exact_floor: Duration::from_millis(150),
+                    clustered_floor: Duration::from_millis(50),
+                    spanner_floor: Duration::from_millis(10),
+                },
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// The deadline floors pick each rung of the quality ladder in
+    /// turn: a generous deadline solves `Exact`, tighter ones solve
+    /// `Clustered` then `Spanner`, and a zero deadline serves the
+    /// `Laplace` fallback while the background solve warms the cache.
+    /// Every served tier's mechanism passes the full-spec privacy
+    /// audit at its canonical ε.
+    #[test]
+    fn deadline_floors_walk_the_quality_ladder() {
+        let mut svc = tiered_service();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        let schedule = [
+            (Duration::from_millis(200), 2.0, QualityTier::Exact),
+            (Duration::from_millis(80), 3.0, QualityTier::Clustered),
+            (Duration::from_millis(20), 4.0, QualityTier::Spanner),
+            (Duration::ZERO, 6.0, QualityTier::Laplace),
+        ];
+        for (deadline, eps, want) in schedule {
+            let reqs = requests(&svc, eps);
+            let out = svc.obfuscate_batch_with_deadline(&reqs, deadline, &mut rng);
+            assert_eq!(out.len(), reqs.len());
+            for o in &out {
+                assert_eq!(o.tier, want, "deadline {deadline:?} must serve {want:?}");
+                match want {
+                    QualityTier::Laplace => assert_eq!(o.served, Served::Fallback),
+                    _ => assert_eq!(o.served, Served::Optimal { cached: false }),
+                }
+            }
+        }
+        // Whatever the tier, everything live audits clean against the
+        // full unreduced spec at its canonical ε.
+        for (s, eps, mechanism) in svc.live_mechanisms() {
+            let inst = svc.shard_instance(s);
+            let spec = vlp_core::PrivacySpec::full(&inst.aux, eps, f64::INFINITY);
+            assert!(
+                privacy::verify(&mechanism, &spec, 1e-6),
+                "shard {s} tiered mechanism at ε={eps} must audit clean"
+            );
+        }
+    }
+
+    /// The tiered hit scan: a key cached at a worse tier serves hits
+    /// under a tight deadline, but a generous deadline refuses to
+    /// degrade and solves the exact optimum instead. Zero-deadline
+    /// batches hit the background-tier solve their own cold round
+    /// admitted.
+    #[test]
+    fn hit_scan_serves_best_cached_tier_within_the_deadline() {
+        let mut svc = tiered_service();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let reqs = requests(&svc, 3.0);
+
+        // Cold at an 80ms deadline: solved and cached at `Clustered`.
+        let out = svc.obfuscate_batch_with_deadline(&reqs, Duration::from_millis(80), &mut rng);
+        assert!(out.iter().all(|o| o.tier == QualityTier::Clustered));
+        // Same deadline again: a pure hit on the clustered entry.
+        let out = svc.obfuscate_batch_with_deadline(&reqs, Duration::from_millis(80), &mut rng);
+        assert!(out
+            .iter()
+            .all(|o| o.tier == QualityTier::Clustered
+                && o.served == Served::Optimal { cached: true }));
+        // A generous deadline must not serve the degraded entry: it
+        // solves (and caches) the exact optimum alongside it.
+        let out = svc.obfuscate_batch_with_deadline(&reqs, Duration::from_millis(200), &mut rng);
+        assert!(
+            out.iter()
+                .all(|o| o.tier == QualityTier::Exact
+                    && o.served == Served::Optimal { cached: false })
+        );
+        // A zero deadline scans every solved tier and hits the exact
+        // entry rather than falling back.
+        let out = svc.obfuscate_batch_with_deadline(&reqs, Duration::ZERO, &mut rng);
+        assert!(out
+            .iter()
+            .all(|o| o.tier == QualityTier::Exact && o.served == Served::Optimal { cached: true }));
+
+        // The background solve a zero-deadline cold batch admits runs
+        // at the best tier (exact floor fits an unbounded deadline):
+        // the next warm batch hits it.
+        let cold = requests(&svc, 8.0);
+        let out = svc.obfuscate_batch_with_deadline(&cold, Duration::ZERO, &mut rng);
+        assert!(out.iter().all(|o| o.tier == QualityTier::Laplace));
+        let out = svc.obfuscate_batch_with_deadline(&cold, Duration::ZERO, &mut rng);
+        assert!(out
+            .iter()
+            .all(|o| o.tier == QualityTier::Exact && o.served == Served::Optimal { cached: true }));
+    }
+
+    /// Every metric name this module records is registered in
+    /// `vlp_obs::schema` — the registry the `docs_links` CI gate
+    /// checks `OPERATIONS.md` against. A new counter that is not added
+    /// to the registry fails here, before it can drift from the docs.
+    #[test]
+    fn every_service_metric_is_in_the_schema_registry() {
+        use vlp_obs::schema::is_known_metric;
+        let consts = [
+            metrics::REQUESTS,
+            metrics::BATCH_TIME,
+            metrics::CACHE_HITS,
+            metrics::CACHE_MISSES,
+            metrics::CACHE_EVICTIONS,
+            metrics::OPTIMAL_SERVED,
+            metrics::FALLBACK_SERVED,
+            metrics::SOLVE_TIME,
+            metrics::SOLVE_ERRORS,
+            metrics::OFF_PARTITION,
+            metrics::PRIOR_INVALIDATIONS,
+            metrics::RETRY_ATTEMPTS,
+            metrics::PANICS_CAUGHT,
+            metrics::STALE_SERVED,
+            metrics::STALE_DEMOTIONS,
+            metrics::BREAKER_OPENED,
+            metrics::BREAKER_HALF_OPEN,
+            metrics::BREAKER_RECLOSED,
+            metrics::BREAKER_SHED,
+            metrics::QUEUE_ENQUEUED,
+            metrics::QUEUE_COALESCED,
+            metrics::QUEUE_FULL,
+            metrics::QUEUE_DRAINED,
+            metrics::SHED_REJECTED,
+            metrics::SHED_DEGRADED,
+            metrics::SOLVE_SUPPORT,
+            metrics::SOLVE_LP_VARS,
+            metrics::SOLVE_LP_ROWS,
+            metrics::LOCAL_NEIGHBORHOODS,
+            metrics::LOCAL_SOLVES,
+            metrics::TIER_EXACT_SERVED,
+            metrics::TIER_CLUSTERED_SERVED,
+            metrics::TIER_SPANNER_SERVED,
+            metrics::TIER_LAPLACE_SERVED,
+        ];
+        for name in consts {
+            assert!(is_known_metric(name), "unregistered metric `{name}`");
+        }
+        for s in 0..4 {
+            assert!(is_known_metric(&metrics::breaker_state_series(s)));
+            assert!(is_known_metric(&metrics::queue_depth_series(s)));
+        }
+        for tier in QualityTier::ALL {
+            assert!(is_known_metric(metrics::tier_served_metric(tier)));
+        }
+    }
+
+    /// The open-loop path serves tiers too: cold submits warm the
+    /// cache at the background tier and report `Laplace` meanwhile,
+    /// and warm submits carry the cached tier in their provenance.
+    #[test]
+    fn submit_reports_tier_provenance() {
+        let svc = tiered_service();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let reqs = requests(&svc, 5.0);
+        for &(w, loc, eps) in &reqs {
+            match svc.submit(w, loc, eps, &mut rng) {
+                Response::Served(o) => {
+                    assert_eq!(o.tier, QualityTier::Laplace);
+                    assert_eq!(o.served, Served::Fallback);
+                }
+                other => panic!("cold submit must serve the fallback, got {other:?}"),
+            }
+        }
+        svc.quiesce();
+        for &(w, loc, eps) in &reqs {
+            match svc.submit(w, loc, eps, &mut rng) {
+                Response::Served(o) => {
+                    assert_eq!(o.tier, QualityTier::Exact);
+                    assert_eq!(o.served, Served::Optimal { cached: true });
+                }
+                other => panic!("warm submit must hit, got {other:?}"),
+            }
+        }
     }
 }
