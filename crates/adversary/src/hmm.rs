@@ -131,9 +131,42 @@ pub fn viterbi(
     mechanism: &Mechanism,
     observations: &[usize],
 ) -> Vec<usize> {
+    let mechanisms = vec![mechanism; observations.len()];
+    viterbi_seq(trans, prior, &mechanisms, observations)
+}
+
+/// [`viterbi`] against a *per-step* emission model: `mechanisms[t]` is
+/// the obfuscation mechanism report `t` was served from.
+///
+/// A continuous-trace service does not hold ε constant — a
+/// velocity-aware adapter or a trace-budget throttle serves each
+/// report at its own canonical ε, hence from a different mechanism.
+/// The adversary observing such a trace knows which mechanism
+/// produced each report (mechanisms are public), so its emission
+/// probabilities vary per step; this is the decoder `bench_traces`
+/// attacks the velocity-adaptive regime with.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree, `mechanisms` and `observations`
+/// lengths differ, or an observation is out of range.
+pub fn viterbi_seq(
+    trans: &TransitionMatrix,
+    prior: &Prior,
+    mechanisms: &[&Mechanism],
+    observations: &[usize],
+) -> Vec<usize> {
     let k = trans.len();
     assert_eq!(prior.len(), k, "prior dimension mismatch");
-    assert_eq!(mechanism.len(), k, "mechanism dimension mismatch");
+    assert_eq!(
+        mechanisms.len(),
+        observations.len(),
+        "one mechanism per observation"
+    );
+    assert!(
+        mechanisms.iter().all(|m| m.len() == k),
+        "mechanism dimension mismatch"
+    );
     if observations.is_empty() {
         return Vec::new();
     }
@@ -144,11 +177,12 @@ pub fn viterbi(
     let o0 = observations[0];
     assert!(o0 < k, "observation out of range");
     for i in 0..k {
-        score[i] = ln(prior.get(i)) + ln(mechanism.prob(i, o0));
+        score[i] = ln(prior.get(i)) + ln(mechanisms[0].prob(i, o0));
     }
-    rescue_if_dead(&mut score, mechanism, o0, k, &ln);
+    rescue_if_dead(&mut score, mechanisms[0], o0, k, &ln);
     for (t, &obs) in observations.iter().enumerate().skip(1) {
         assert!(obs < k, "observation out of range");
+        let mechanism = mechanisms[t];
         let mut next = vec![f64::NEG_INFINITY; k];
         for j in 0..k {
             let emit = ln(mechanism.prob(j, obs));
@@ -225,9 +259,35 @@ pub fn forward_backward(
     mechanism: &Mechanism,
     observations: &[usize],
 ) -> Vec<Vec<f64>> {
+    let mechanisms = vec![mechanism; observations.len()];
+    forward_backward_seq(trans, prior, &mechanisms, observations)
+}
+
+/// [`forward_backward`] against a *per-step* emission model:
+/// `mechanisms[t]` is the mechanism report `t` was served from. See
+/// [`viterbi_seq`] for why continuous-trace serving needs this.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree, `mechanisms` and `observations`
+/// lengths differ, or an observation is out of range.
+pub fn forward_backward_seq(
+    trans: &TransitionMatrix,
+    prior: &Prior,
+    mechanisms: &[&Mechanism],
+    observations: &[usize],
+) -> Vec<Vec<f64>> {
     let k = trans.len();
     assert_eq!(prior.len(), k, "prior dimension mismatch");
-    assert_eq!(mechanism.len(), k, "mechanism dimension mismatch");
+    assert_eq!(
+        mechanisms.len(),
+        observations.len(),
+        "one mechanism per observation"
+    );
+    assert!(
+        mechanisms.iter().all(|m| m.len() == k),
+        "mechanism dimension mismatch"
+    );
     let t_len = observations.len();
     if t_len == 0 {
         return Vec::new();
@@ -246,12 +306,13 @@ pub fn forward_backward(
     let o0 = observations[0];
     assert!(o0 < k, "observation out of range");
     let mut a0: Vec<f64> = (0..k)
-        .map(|i| prior.get(i) * mechanism.prob(i, o0))
+        .map(|i| prior.get(i) * mechanisms[0].prob(i, o0))
         .collect();
     normalize(&mut a0);
     alpha.push(a0);
-    for &obs in &observations[1..] {
+    for (t, &obs) in observations.iter().enumerate().skip(1) {
         assert!(obs < k, "observation out of range");
+        let mechanism = mechanisms[t];
         let prev = alpha.last().expect("nonempty");
         let mut a: Vec<f64> = (0..k)
             .map(|j| {
@@ -266,11 +327,12 @@ pub fn forward_backward(
     let mut beta = vec![vec![1.0 / k as f64; k]; t_len];
     for t in (0..t_len - 1).rev() {
         let obs_next = observations[t + 1];
+        let mech_next = mechanisms[t + 1];
         let next = beta[t + 1].clone();
         let mut b: Vec<f64> = (0..k)
             .map(|i| {
                 (0..k)
-                    .map(|j| trans.prob(i, j) * mechanism.prob(j, obs_next) * next[j])
+                    .map(|j| trans.prob(i, j) * mech_next.prob(j, obs_next) * next[j])
                     .sum()
             })
             .collect();
@@ -449,6 +511,51 @@ mod tests {
         let obs = vec![0, 0, 1, 0, 0];
         let decoded = decode_marginals(&forward_backward(&t, &p, &m, &obs));
         assert_eq!(decoded, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn seq_decoders_with_one_mechanism_match_the_uniform_api() {
+        let k = 3;
+        let t = TransitionMatrix::learn(k, &[vec![0, 1, 2, 1, 0]], 0.1);
+        let m = Mechanism::from_matrix(k, vec![0.6, 0.2, 0.2, 0.2, 0.6, 0.2, 0.2, 0.2, 0.6], 1e-9)
+            .unwrap();
+        let p = Prior::uniform(k);
+        let obs = vec![0, 1, 2, 1, 0, 0];
+        let mechs: Vec<&Mechanism> = obs.iter().map(|_| &m).collect();
+        assert_eq!(viterbi(&t, &p, &m, &obs), viterbi_seq(&t, &p, &mechs, &obs));
+        assert_eq!(
+            forward_backward(&t, &p, &m, &obs),
+            forward_backward_seq(&t, &p, &mechs, &obs)
+        );
+    }
+
+    #[test]
+    fn seq_decoders_honor_the_per_step_mechanism() {
+        // Step 1's mechanism is the identity, so whatever the
+        // transitions prefer, the decoders must pin step 1 to its
+        // report; a noisy-mechanism decode of the same stream does not.
+        let k = 2;
+        let t = TransitionMatrix::from_rows(k, vec![0.95, 0.05, 0.05, 0.95]).unwrap();
+        let noisy = Mechanism::from_matrix(k, vec![0.7, 0.3, 0.3, 0.7], 1e-9).unwrap();
+        let exact = Mechanism::identity(k);
+        let p = Prior::from_weights(&[1.0, 0.0]).unwrap();
+        let obs = vec![0, 1, 0];
+        let mechs = vec![&noisy, &exact, &noisy];
+        let decoded = viterbi_seq(&t, &p, &mechs, &obs);
+        assert_eq!(decoded[1], 1, "identity emission pins the state");
+        let marg = forward_backward_seq(&t, &p, &mechs, &obs);
+        assert!(marg[1][1] > 0.999, "marginal mass follows the emission");
+        // The uniform-mechanism decode smooths the outlier away instead.
+        assert_eq!(viterbi(&t, &p, &noisy, &obs), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one mechanism per observation")]
+    fn seq_decoder_rejects_length_mismatch() {
+        let k = 2;
+        let t = TransitionMatrix::from_rows(k, vec![0.5; 4]).unwrap();
+        let m = Mechanism::uniform(k);
+        viterbi_seq(&t, &Prior::uniform(k), &[&m], &[0, 1]);
     }
 
     #[test]

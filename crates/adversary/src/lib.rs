@@ -41,4 +41,7 @@ pub mod bayes;
 pub mod hmm;
 
 pub use bayes::{adv_error, conditional_entropy, optimal_estimates, posterior};
-pub use hmm::{decode_marginals, forward_backward, trajectory_error, viterbi, TransitionMatrix};
+pub use hmm::{
+    decode_marginals, forward_backward, forward_backward_seq, trajectory_error, viterbi,
+    viterbi_seq, TransitionMatrix,
+};

@@ -159,6 +159,7 @@ fn run_load(rate: f64, requests: usize) -> Value {
             },
             Response::Rejected { .. } => rejected += 1,
             Response::OffPartition { .. } => panic!("workload locations are all on-partition"),
+            Response::BudgetExhausted { .. } => unreachable!("no trace budget configured"),
         }
         latencies.push(due.elapsed());
     }

@@ -16,3 +16,4 @@
 
 pub mod report;
 pub mod scenarios;
+pub mod streams;

@@ -1,0 +1,251 @@
+//! Trajectory-streaming workloads: turning `mobility` traces into the
+//! timestamped per-vehicle report streams a continuous serving loop
+//! sees.
+//!
+//! The figure benches replay traces vehicle-by-vehicle; a serving
+//! platform instead receives one *interleaved* stream of reports from
+//! the whole fleet, ordered by report time. [`stream_reports`] performs
+//! that merge and annotates each report with the vehicle's estimated
+//! speed (from consecutive trace points), which is what a
+//! velocity-aware ε adapter ([`platform::VelocityEpsilon`]) consumes.
+//! [`fleet_stream`] and [`trip_stream`] are one-call builders over the
+//! two `mobility` motion models, and [`subsample_stream`] thins a
+//! continuous stream into the paper's sporadic-reporting regime
+//! (footnote 4: keep one sample of every *n*).
+
+use mobility::{TraceConfig, TripConfig, VehicleTrace};
+use platform::WorkerId;
+use roadnet::{Location, RoadGraph};
+
+/// One timestamped report in a merged fleet stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceReport {
+    /// The reporting vehicle (stable across the stream).
+    pub vehicle: WorkerId,
+    /// Index of this report within the vehicle's own trace.
+    pub seq: usize,
+    /// Report time in seconds from the start of the simulation.
+    pub time_secs: f64,
+    /// The vehicle's true location at report time.
+    pub location: Location,
+    /// Speed estimated from the previous trace point, in km/h. The
+    /// first report of a trace has no history and gets `0.0`
+    /// (indistinguishable from dwelling, which is what a platform
+    /// would assume too).
+    pub speed_kmh: f64,
+}
+
+/// Merges per-vehicle traces into one time-ordered report stream.
+///
+/// Vehicle `v`'s reports keep their trace order; across vehicles the
+/// stream is sorted by `(time_secs, vehicle)` so equal-time reports
+/// have a deterministic order. Speed is estimated as straight-line
+/// distance between consecutive trace points over the elapsed time —
+/// exactly what a platform could compute from the vehicle's own
+/// previous report, so the velocity adapter never needs ground truth
+/// the serving side wouldn't have.
+///
+/// # Example
+///
+/// ```
+/// use mobility::{generate_fleet, TraceConfig};
+/// use roadnet::generators;
+/// use vlp_bench::streams::stream_reports;
+///
+/// let graph = generators::grid(3, 3, 0.4, true);
+/// let cfg = TraceConfig { reports: 5, ..TraceConfig::default() };
+/// let traces = generate_fleet(&graph, &cfg, 2, 7);
+/// let stream = stream_reports(&graph, &traces);
+/// assert_eq!(stream.len(), 10);
+/// // Time-ordered, with non-negative speed estimates throughout.
+/// assert!(stream.windows(2).all(|w| w[0].time_secs <= w[1].time_secs));
+/// assert!(stream.iter().all(|r| r.speed_kmh >= 0.0));
+/// ```
+pub fn stream_reports(graph: &RoadGraph, traces: &[VehicleTrace]) -> Vec<TraceReport> {
+    let mut stream = Vec::with_capacity(traces.iter().map(VehicleTrace::len).sum());
+    for (v, trace) in traces.iter().enumerate() {
+        for (seq, (&location, &time_secs)) in
+            trace.locations.iter().zip(&trace.timestamps).enumerate()
+        {
+            let speed_kmh = if seq == 0 {
+                0.0
+            } else {
+                let dt_secs = time_secs - trace.timestamps[seq - 1];
+                if dt_secs > 0.0 {
+                    let km = trace.locations[seq - 1].euclidean(location, graph);
+                    km / (dt_secs / 3600.0)
+                } else {
+                    0.0
+                }
+            };
+            stream.push(TraceReport {
+                vehicle: WorkerId(v),
+                seq,
+                time_secs,
+                location,
+                speed_kmh,
+            });
+        }
+    }
+    stream.sort_by(|a, b| {
+        a.time_secs
+            .partial_cmp(&b.time_secs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.vehicle.0.cmp(&b.vehicle.0))
+            .then(a.seq.cmp(&b.seq))
+    });
+    stream
+}
+
+/// Generates a fleet of continuously-cruising vehicles
+/// ([`mobility::generate_fleet`]) and merges them into a stream.
+pub fn fleet_stream(
+    graph: &RoadGraph,
+    cfg: &TraceConfig,
+    n_vehicles: usize,
+    base_seed: u64,
+) -> Vec<TraceReport> {
+    stream_reports(
+        graph,
+        &mobility::generate_fleet(graph, cfg, n_vehicles, base_seed),
+    )
+}
+
+/// Generates a fleet of trip-structured vehicles (drive, dwell at an
+/// attraction, drive on — [`mobility::generate_trip_trace`]) with the
+/// same per-vehicle seed derivation as [`fleet_stream`], merged into a
+/// stream. Dwell segments produce near-zero speed estimates, which is
+/// what exercises a velocity adapter's low-speed (tightest-ε) end.
+pub fn trip_stream(
+    graph: &RoadGraph,
+    cfg: &TripConfig,
+    n_vehicles: usize,
+    base_seed: u64,
+) -> Vec<TraceReport> {
+    let traces: Vec<VehicleTrace> = (0..n_vehicles)
+        .map(|v| {
+            mobility::generate_trip_trace(
+                graph,
+                cfg,
+                base_seed.wrapping_add(v as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
+        .collect();
+    stream_reports(graph, &traces)
+}
+
+/// Thins a merged stream to every `n`-th report *per vehicle* — the
+/// paper's sporadic-reporting regime (footnote 4). `n = 1` returns the
+/// stream unchanged.
+///
+/// # Example
+///
+/// ```
+/// use mobility::{generate_fleet, TraceConfig};
+/// use roadnet::generators;
+/// use vlp_bench::streams::{stream_reports, subsample_stream};
+///
+/// let graph = generators::grid(3, 3, 0.4, true);
+/// let cfg = TraceConfig { reports: 6, ..TraceConfig::default() };
+/// let stream = stream_reports(&graph, &generate_fleet(&graph, &cfg, 2, 7));
+/// let sparse = subsample_stream(&stream, 3);
+/// assert_eq!(sparse.len(), 4); // reports 0 and 3 of each vehicle
+/// assert!(sparse.iter().all(|r| r.seq % 3 == 0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn subsample_stream(stream: &[TraceReport], n: usize) -> Vec<TraceReport> {
+    assert!(n > 0, "subsample step must be positive");
+    stream.iter().filter(|r| r.seq % n == 0).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generators;
+
+    #[test]
+    fn stream_is_time_ordered_and_complete() {
+        let g = generators::grid(4, 4, 0.3, true);
+        let cfg = TraceConfig {
+            reports: 20,
+            ..TraceConfig::default()
+        };
+        let stream = fleet_stream(&g, &cfg, 3, 11);
+        assert_eq!(stream.len(), 60);
+        for w in stream.windows(2) {
+            assert!(
+                (w[0].time_secs, w[0].vehicle.0) <= (w[1].time_secs, w[1].vehicle.0),
+                "stream must be (time, vehicle)-ordered"
+            );
+        }
+        // Every vehicle contributes its full trace, in order.
+        for v in 0..3 {
+            let seqs: Vec<usize> = stream
+                .iter()
+                .filter(|r| r.vehicle == WorkerId(v))
+                .map(|r| r.seq)
+                .collect();
+            assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn speed_estimates_are_plausible() {
+        let g = generators::grid(4, 4, 0.3, true);
+        let cfg = TraceConfig {
+            reports: 30,
+            speed_kmh: 30.0,
+            ..TraceConfig::default()
+        };
+        let stream = fleet_stream(&g, &cfg, 2, 5);
+        for r in &stream {
+            assert!(r.speed_kmh.is_finite() && r.speed_kmh >= 0.0);
+            if r.seq == 0 {
+                assert_eq!(r.speed_kmh, 0.0, "no history yet");
+            } else {
+                // Straight-line estimate never exceeds the true cruise
+                // speed (paths bend, they don't teleport).
+                assert!(r.speed_kmh <= cfg.speed_kmh + 1e-9);
+            }
+        }
+        assert!(
+            stream.iter().any(|r| r.speed_kmh > 1.0),
+            "a cruising fleet should register movement"
+        );
+    }
+
+    #[test]
+    fn trip_stream_shows_dwell_speeds() {
+        let g = generators::grid(4, 4, 0.3, true);
+        let cfg = TripConfig {
+            reports: 60,
+            ..TripConfig::default()
+        };
+        let stream = trip_stream(&g, &cfg, 2, 13);
+        assert_eq!(stream.len(), 120);
+        let dwelling = stream
+            .iter()
+            .filter(|r| r.seq > 0 && r.speed_kmh < 1e-9)
+            .count();
+        assert!(dwelling > 0, "trips dwell at attractions");
+    }
+
+    #[test]
+    fn same_seed_streams_are_identical() {
+        let g = generators::grid(3, 3, 0.4, true);
+        let cfg = TraceConfig {
+            reports: 15,
+            ..TraceConfig::default()
+        };
+        assert_eq!(fleet_stream(&g, &cfg, 3, 42), fleet_stream(&g, &cfg, 3, 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn subsample_rejects_zero_step() {
+        subsample_stream(&[], 0);
+    }
+}

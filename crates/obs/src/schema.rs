@@ -101,6 +101,11 @@ pub const KNOWN_METRICS: &[&str] = &[
     "service.tier.clustered.served",
     "service.tier.spanner.served",
     "service.tier.laplace.served",
+    "service.trace.charges",
+    "service.trace.throttled",
+    "service.trace.refusals",
+    "service.trace.exhausted",
+    "service.trace.fill",
     // failpoint site names (documented alongside the chaos counters)
     "service.cache.evict_storm",
     "service.deadline.jitter",
@@ -123,6 +128,7 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "bench_load.",
     "bench_local.",
     "bench_chaos.",
+    "bench_traces.",
 ];
 
 /// Whether `name` is a metric the workspace records: an exact entry in
@@ -266,6 +272,10 @@ mod tests {
         assert!(is_known_metric("service.breaker.state.3"));
         assert!(is_known_metric("chaos.injected.service.shard.blackout.1"));
         assert!(is_known_metric("bench_chaos.optimal_share"));
+        assert!(is_known_metric("service.trace.charges"));
+        assert!(is_known_metric("service.trace.fill"));
+        assert!(is_known_metric("bench_traces.regimes"));
+        assert!(!is_known_metric("service.trace.bogus"));
         assert!(!is_known_metric("service.tier.bogus"));
         assert!(!is_known_metric("lpsolve.warm.fallbacks"));
         // A bare family prefix is not itself a metric.

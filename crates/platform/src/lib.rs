@@ -64,6 +64,7 @@ pub use server::{Server, ServerConfig, SnapshotOutcome};
 pub use service::{
     BreakerState, LocalConfig, MechanismService, Obfuscation, ResilienceConfig, Response, Served,
     ServiceConfig, ServiceHandle, ServiceHealth, ShardHealth, ShutdownReport, TierPolicy,
+    TraceBudgetConfig, VelocityEpsilon,
 };
 pub use simulation::{Simulation, SimulationConfig, SimulationReport};
 pub use worker::{Worker, WorkerId, WorkerStatus};

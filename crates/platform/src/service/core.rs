@@ -40,6 +40,7 @@ use vlp_obs::failpoint::{self, site, FaultPlan};
 use super::ladder::{
     solve_key, Breaker, BreakerState, CachedSolve, LruCache, MechKey, MissOutcome, SolveStats,
 };
+use super::trace::{Admission, TraceLedger};
 use super::{metrics, Obfuscation, Response, Served, ServiceConfig, TierPolicy};
 use crate::WorkerId;
 
@@ -445,6 +446,11 @@ pub(crate) struct CoreShared {
     /// count for the open-loop frontend. Chaos schedules, breaker
     /// cooldowns, and staleness ages are all keyed by it.
     pub(crate) epoch: AtomicU64,
+    /// Per-vehicle trace-budget ledgers, present only when
+    /// [`ServiceConfig::budget`] is `Some` — the disabled path never
+    /// takes this lock and is bit-identical to the unaccounted
+    /// service.
+    accountant: Option<Mutex<TraceLedger>>,
     inflight_jobs: Mutex<u64>,
     idle: Condvar,
     shutting_down: AtomicBool,
@@ -510,6 +516,27 @@ impl CoreShared {
             vlp_obs::global().incr(metrics::OFF_PARTITION, 1);
             return Response::OffPartition { worker };
         };
+        // Trace accounting (enabled only): throttle the requested ε
+        // against the vehicle's ledger and reserve the grant. The
+        // reservation is committed on a serve and released on a
+        // rejection, so the ledger equals exactly what was revealed.
+        let mut reservation = None;
+        let epsilon = match &self.accountant {
+            None => epsilon,
+            Some(acct) => match lock(acct).admit(worker, epsilon, self.config.epsilon_bucket) {
+                Admission::Granted { epsilon, throttled } => {
+                    reservation = Some((epsilon, throttled));
+                    epsilon
+                }
+                Admission::Refused { remaining } => {
+                    return Response::BudgetExhausted {
+                        worker,
+                        shard: s,
+                        remaining,
+                    }
+                }
+            },
+        };
         let (bucket, canonical) = self.bucket(epsilon);
         let epoch = self.epoch.load(Ordering::Relaxed);
         let shard = &self.shards[s];
@@ -552,12 +579,21 @@ impl CoreShared {
             }
         };
         match served {
-            None => Response::Rejected {
-                worker,
-                shard: s,
-                epsilon: canonical,
-            },
+            None => {
+                if let (Some(acct), Some((granted, _))) = (&self.accountant, reservation) {
+                    // Nothing was revealed; return the reservation.
+                    lock(acct).release(worker, granted);
+                }
+                Response::Rejected {
+                    worker,
+                    shard: s,
+                    epsilon: canonical,
+                }
+            }
             Some((mechanism, tier, served)) => {
+                if let (Some(acct), Some((_, throttled))) = (&self.accountant, reservation) {
+                    lock(acct).commit(throttled);
+                }
                 let row = engine.local_row(slot.nb, i);
                 let j = engine.global_interval(slot.nb, mechanism.sample_interval(row, rng));
                 let location = engine
@@ -745,6 +781,11 @@ impl CoreShared {
             obs.push(&metrics::queue_depth_series(s), t.inflight.len() as f64);
             t.stats.flush(obs);
         }
+        if let Some(acct) = &self.accountant {
+            let mut a = lock(acct);
+            obs.push(metrics::TRACE_FILL, a.mean_fill());
+            a.stats.flush(obs);
+        }
         epoch
     }
 
@@ -755,6 +796,24 @@ impl CoreShared {
         for shard in &self.shards {
             lock(&shard.table).stats.flush(obs);
         }
+        if let Some(acct) = &self.accountant {
+            lock(acct).stats.flush(obs);
+        }
+    }
+
+    /// Cumulative ε charged to `worker`'s trace budget; `None` when
+    /// accounting is disabled.
+    pub(crate) fn budget_spent(&self, worker: WorkerId) -> Option<f64> {
+        self.accountant.as_ref().map(|a| lock(a).spent(worker))
+    }
+
+    /// The trace-budget ledger as a sorted `(vehicle, spent ε)` list;
+    /// empty when accounting is disabled.
+    pub(crate) fn budget_ledger(&self) -> Vec<(WorkerId, f64)> {
+        self.accountant
+            .as_ref()
+            .map(|a| lock(a).entries())
+            .unwrap_or_default()
     }
 
     /// Swaps shard `s`'s instance for one with the new worker prior
@@ -970,6 +1029,9 @@ impl ServingCore {
             config.tiers.spanner_stretch >= 1.0 && config.tiers.spanner_stretch.is_finite(),
             "spanner stretch must be finite and at least 1"
         );
+        if let Some(budget) = &config.budget {
+            budget.validate(config.epsilon_bucket);
+        }
         if let Some(local) = &config.local {
             assert!(local.rho > 0.0, "assignment radius rho must be positive");
             assert!(
@@ -1016,12 +1078,16 @@ impl ServingCore {
         if config.local.is_some() {
             vlp_obs::global().incr(metrics::LOCAL_NEIGHBORHOODS, neighborhoods);
         }
+        let accountant = config
+            .budget
+            .map(|budget| Mutex::new(TraceLedger::new(budget)));
         let shared = Arc::new(CoreShared {
             partition,
             shards,
             chaos,
             config,
             epoch: AtomicU64::new(0),
+            accountant,
             inflight_jobs: Mutex::new(0),
             idle: Condvar::new(),
             shutting_down: AtomicBool::new(false),

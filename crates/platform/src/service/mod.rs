@@ -105,12 +105,14 @@ use crate::{SnapshotOutcome, Task, TaskId, WorkerId};
 
 pub(crate) mod core;
 mod ladder;
+mod trace;
 
 use core::{lock, CoreShared, EngineSnapshot, ServingCore};
 use ladder::{CachedSolve, MechKey, MissOutcome};
 
 pub use core::ShutdownReport;
 pub use ladder::BreakerState;
+pub use trace::{TraceBudgetConfig, VelocityEpsilon};
 
 /// Telemetry metric names recorded by [`MechanismService`].
 pub mod metrics {
@@ -214,6 +216,24 @@ pub mod metrics {
     /// every fallback serve, whatever rung of the resilience ladder
     /// produced it).
     pub const TIER_LAPLACE_SERVED: &str = "service.tier.laplace.served";
+    /// Counter: served reports charged against a vehicle's trace
+    /// budget ledger (accounting enabled only).
+    pub const TRACE_CHARGES: &str = "service.trace.charges";
+    /// Counter: charged reports served at a throttled ε — the ledger
+    /// was past the throttle knee, so the grant was shrunk below what
+    /// the raw request would have bucketed to.
+    pub const TRACE_THROTTLED: &str = "service.trace.throttled";
+    /// Counter: reports refused with
+    /// [`Response::BudgetExhausted`](super::Response::BudgetExhausted)
+    /// — the throttled grant fell below one ε-bucket width.
+    pub const TRACE_REFUSALS: &str = "service.trace.refusals";
+    /// Counter: vehicles whose remaining trace budget dropped below
+    /// one ε-bucket width (terminal — every later report refuses);
+    /// counted once per vehicle.
+    pub const TRACE_EXHAUSTED: &str = "service.trace.exhausted";
+    /// Series: mean ledger fill fraction across vehicles with any
+    /// spend, sampled once per epoch while accounting is enabled.
+    pub const TRACE_FILL: &str = "service.trace.fill";
 
     /// The per-tier served counter for `tier` — one of the four
     /// `service.tier.<tier>.served` names above.
@@ -316,6 +336,17 @@ pub struct ServiceConfig {
     /// graph-Laplace fallback for a zero deadline — exactly the
     /// pre-tier behavior.
     pub tiers: TierPolicy,
+    /// Opt-in per-vehicle trace-budget accounting for continuous
+    /// serving, on the open-loop [`MechanismService::submit`] path.
+    /// `None` (the default) keeps the classic unaccounted service —
+    /// bit-identical to the pre-accountant behavior. `Some` charges
+    /// every served report's canonical ε against the vehicle's
+    /// ledger, throttles grants as the ledger fills, and refuses with
+    /// [`Response::BudgetExhausted`] once a grant would fall below one
+    /// ε-bucket width (see [`trace`](TraceBudgetConfig) for the
+    /// composition argument). The batch frontend is not accounted —
+    /// batches model one sporadic report per vehicle.
+    pub budget: Option<TraceBudgetConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -334,6 +365,7 @@ impl Default for ServiceConfig {
             local: None,
             chaos: FaultPlan::default(),
             tiers: TierPolicy::default(),
+            budget: None,
         }
     }
 }
@@ -541,6 +573,21 @@ pub enum Response {
         /// The requesting worker.
         worker: WorkerId,
     },
+    /// The vehicle's trace-budget ledger could not afford another
+    /// report ([`ServiceConfig::budget`]): the throttled grant fell
+    /// below one ε-bucket width, so serving *anything* would either
+    /// overspend the trace budget or violate the round-down contract.
+    /// Nothing was served and nothing was charged. When `remaining`
+    /// is itself below one bucket width the exhaustion is terminal —
+    /// every later report from this vehicle refuses too.
+    BudgetExhausted {
+        /// The requesting worker.
+        worker: WorkerId,
+        /// The shard the request routed to.
+        shard: usize,
+        /// The unspent remainder of the vehicle's trace budget.
+        remaining: f64,
+    },
 }
 
 impl Response {
@@ -631,6 +678,18 @@ impl ServiceHandle {
     /// The current logical epoch.
     pub fn epoch(&self) -> u64 {
         self.shared.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative ε charged to `worker`'s trace budget — see
+    /// [`MechanismService::budget_spent`].
+    pub fn budget_spent(&self, worker: WorkerId) -> Option<f64> {
+        self.shared.budget_spent(worker)
+    }
+
+    /// The whole trace-budget ledger — see
+    /// [`MechanismService::budget_ledger`].
+    pub fn budget_ledger(&self) -> Vec<(WorkerId, f64)> {
+        self.shared.budget_ledger()
     }
 }
 
@@ -883,6 +942,22 @@ impl MechanismService {
     /// would hit ε = 0, which no mechanism can satisfy usefully).
     pub fn canonical_epsilon(&self, epsilon: f64) -> f64 {
         self.core.shared.bucket(epsilon).1
+    }
+
+    /// Cumulative ε charged to `worker`'s trace budget so far (linear
+    /// composition over its served reports). `None` when accounting is
+    /// disabled ([`ServiceConfig::budget`] is `None`); `Some(0.0)` for
+    /// a vehicle that has not been served an accounted report yet.
+    pub fn budget_spent(&self, worker: WorkerId) -> Option<f64> {
+        self.core.shared.budget_spent(worker)
+    }
+
+    /// The whole trace-budget ledger as a sorted
+    /// `(vehicle, cumulative ε)` list — empty when accounting is
+    /// disabled. The audit surface `bench_traces` checks the
+    /// cumulative-ε-≤-budget gate against.
+    pub fn budget_ledger(&self) -> Vec<(WorkerId, f64)> {
+        self.core.shared.budget_ledger()
     }
 
     /// Updates shard `s`'s worker prior (copy-on-write: in-flight
@@ -2259,6 +2334,11 @@ mod tests {
             metrics::TIER_CLUSTERED_SERVED,
             metrics::TIER_SPANNER_SERVED,
             metrics::TIER_LAPLACE_SERVED,
+            metrics::TRACE_CHARGES,
+            metrics::TRACE_THROTTLED,
+            metrics::TRACE_REFUSALS,
+            metrics::TRACE_EXHAUSTED,
+            metrics::TRACE_FILL,
         ];
         for name in consts {
             assert!(is_known_metric(name), "unregistered metric `{name}`");

@@ -1,0 +1,163 @@
+//! Cross-layer tests of the per-vehicle trace-budget accountant:
+//! the disabled path is bit-identical to an unaccounted service, and
+//! property tests pin the ledger's two safety invariants — a vehicle
+//! is never served past its budget, and terminal exhaustion is final.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use platform::{
+    MechanismService, Response, ServiceConfig, TraceBudgetConfig, VelocityEpsilon, WorkerId,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use roadnet::{generators, EdgeId, Location};
+
+/// ε-bucket width shared by every service in this file.
+const BUCKET: f64 = 0.5;
+
+fn service(budget: Option<TraceBudgetConfig>) -> MechanismService {
+    MechanismService::new(
+        generators::grid(3, 3, 0.4, true),
+        ServiceConfig {
+            n_shards: 1,
+            delta: 0.3,
+            epsilon_bucket: BUCKET,
+            // Zero logical deadline: every cold key serves the cheap
+            // graph-Laplace rung, so these tests never wait on a CG
+            // solve and the serving order is trivially deterministic.
+            solve_deadline: Duration::ZERO,
+            budget,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// A few on-partition request locations spread over the map.
+fn locations(svc: &MechanismService) -> Vec<Location> {
+    let g = generators::grid(3, 3, 0.4, true);
+    (0..g.edge_count())
+        .map(|e| Location::new(EdgeId(e), 0.1))
+        .filter(|&loc| svc.partition().to_local(loc).is_some())
+        .collect()
+}
+
+/// The bit-identity pin: with `budget: None` the accountant is absent
+/// and the serving path must produce exactly the responses of the
+/// pre-accountant service. An infinite budget admits every request at
+/// its untouched canonical ε, so comparing the two configurations
+/// report-for-report (same seeds, same submit order) pins both claims
+/// at once — any accounting interference would break the equality.
+#[test]
+fn disabled_accountant_is_bit_identical_to_infinite_budget() {
+    let unaccounted = service(None);
+    let accounted = service(Some(TraceBudgetConfig {
+        trace_budget: f64::INFINITY,
+        throttle_start: 0.5,
+    }));
+    let locs = locations(&unaccounted);
+    assert!(!locs.is_empty());
+    let epsilons = [0.7, 2.0, 3.3, 5.0];
+    let mut rng_a = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng_b = rand::rngs::StdRng::seed_from_u64(99);
+    for i in 0..80 {
+        let worker = WorkerId(i % 5);
+        let loc = locs[i % locs.len()];
+        let eps = epsilons[i % epsilons.len()];
+        let a = unaccounted.submit(worker, loc, eps, &mut rng_a);
+        let b = accounted.submit(worker, loc, eps, &mut rng_b);
+        assert_eq!(a, b, "request {i}: accountant wiring changed a response");
+        assert!(matches!(a, Response::Served(_)), "request {i} served");
+    }
+    assert_eq!(unaccounted.budget_spent(WorkerId(0)), None);
+    assert!(accounted.budget_spent(WorkerId(0)).unwrap() > 0.0);
+}
+
+/// The velocity adapter composes with the ledger: adapted requests are
+/// served at no more than the adapted ε, and the ledger bound holds.
+#[test]
+fn velocity_adapter_requests_stay_within_ledger() {
+    let budget = 8.0;
+    let svc = service(Some(TraceBudgetConfig {
+        trace_budget: budget,
+        throttle_start: 0.25,
+    }));
+    let va = VelocityEpsilon::default();
+    let locs = locations(&svc);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut served_eps = 0.0;
+    for i in 0..40 {
+        let speed = (i as f64 * 3.7) % 90.0;
+        let eps = va.epsilon_for(speed);
+        match svc.submit(WorkerId(0), locs[i % locs.len()], eps, &mut rng) {
+            Response::Served(o) => {
+                assert!(o.epsilon <= eps + 1e-12);
+                served_eps += o.epsilon;
+            }
+            Response::BudgetExhausted { .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(served_eps <= budget + 1e-9);
+    let ledger = svc.budget_spent(WorkerId(0)).unwrap();
+    assert!((served_eps - ledger).abs() < 1e-9);
+}
+
+proptest! {
+    // Each case builds a (cheap, fallback-only) service, so keep the
+    // case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Safety invariants over arbitrary interleaved submit schedules:
+    ///
+    /// * a vehicle's cumulative served ε never exceeds the budget;
+    /// * the service ledger agrees with an external tally;
+    /// * terminal exhaustion (a refusal with less than one bucket
+    ///   width remaining) is final — that vehicle is never served
+    ///   again, whatever it asks for.
+    #[test]
+    fn ledger_never_overspends_and_exhaustion_is_final(
+        schedule in proptest::collection::vec((0usize..3, 0usize..4), 1..120),
+        seed in 0u64..1_000,
+    ) {
+        let budget = 6.0;
+        let svc = service(Some(TraceBudgetConfig {
+            trace_budget: budget,
+            throttle_start: 0.4,
+        }));
+        let locs = locations(&svc);
+        let epsilons = [0.6, 1.0, 2.7, 5.0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tally: HashMap<usize, f64> = HashMap::new();
+        let mut dead: [bool; 3] = [false; 3];
+        for (i, &(v, e)) in schedule.iter().enumerate() {
+            let eps = epsilons[e];
+            match svc.submit(WorkerId(v), locs[i % locs.len()], eps, &mut rng) {
+                Response::Served(o) => {
+                    prop_assert!(!dead[v], "vehicle {v} served after terminal exhaustion");
+                    prop_assert!(o.epsilon <= eps + 1e-12);
+                    let spent = tally.entry(v).or_insert(0.0);
+                    *spent += o.epsilon;
+                    prop_assert!(
+                        *spent <= budget + 1e-9,
+                        "vehicle {v} served {} over budget {budget}", *spent
+                    );
+                }
+                Response::BudgetExhausted { remaining, .. } => {
+                    if remaining < BUCKET {
+                        dead[v] = true;
+                    }
+                }
+                other => prop_assert!(false, "unexpected response {other:?}"),
+            }
+        }
+        for v in 0..3 {
+            let external = tally.get(&v).copied().unwrap_or(0.0);
+            let ledger = svc.budget_spent(WorkerId(v)).unwrap_or(0.0);
+            prop_assert!(
+                (external - ledger).abs() < 1e-9,
+                "vehicle {v}: tally {external} != ledger {ledger}"
+            );
+        }
+    }
+}

@@ -101,6 +101,9 @@ fn concurrent_submitters_faults_and_shutdown_race_cleanly() {
                         Response::OffPartition { .. } => {
                             off_partition.fetch_add(1, Ordering::Relaxed);
                         }
+                        Response::BudgetExhausted { .. } => {
+                            unreachable!("no trace budget configured")
+                        }
                     }
                     if i % 16 == 0 {
                         std::thread::yield_now();
